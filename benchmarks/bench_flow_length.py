@@ -1,0 +1,99 @@
+"""§6.2.2 ablation — flow length vs. true-positive rate.
+
+"Our empirical studies suggest that the longer a flow is, the less
+likely it is to be a true positive."  We regenerate the evidence: bucket
+every raw flow found by the unbounded hybrid configuration over the
+Figure 4 benchmarks by flow length and measure the fraction that matches
+a planted true positive, then sweep the cutoff to show the optimized
+filter's trade-off.
+"""
+
+from repro.bench import FIGURE4_APPS
+from repro.core import TAJ, TAJConfig
+from repro.modeling import prepare
+
+
+def _collect_flows(suite_apps):
+    """(flow length, is_true_positive) samples over the key benchmarks."""
+    samples = []
+    for name in FIGURE4_APPS:
+        app = suite_apps[name]
+        prepared = prepare(app.sources, app.deployment_descriptor)
+        result = TAJ(TAJConfig.hybrid_unbounded()).analyze_prepared(
+            prepared)
+        planted = {(p.rule, p.sink_method): p for p in app.planted}
+        for flow in result.flows:
+            key = (flow.rule, flow.sink.method)
+            plant = planted.get(key)
+            is_tp = plant is not None and plant.is_true_positive
+            samples.append((flow.length, is_tp))
+    return samples
+
+
+def test_flow_length_vs_tp_rate(benchmark, suite_apps, capsys):
+    samples = benchmark.pedantic(_collect_flows, args=(suite_apps,),
+                                 rounds=1, iterations=1)
+    buckets = {}
+    for length, is_tp in samples:
+        bucket = min(length // 10, 4)
+        tp, total = buckets.get(bucket, (0, 0))
+        buckets[bucket] = (tp + (1 if is_tp else 0), total + 1)
+
+    with capsys.disabled():
+        print()
+        print("=" * 58)
+        print("Flow length vs true-positive rate (§6.2.2)")
+        print("=" * 58)
+        print(f"{'length bucket':<16}{'flows':>8}{'TP':>6}{'TP rate':>10}")
+        for bucket in sorted(buckets):
+            tp, total = buckets[bucket]
+            label = f"{bucket * 10}-{bucket * 10 + 9}" if bucket < 4 \
+                else "40+"
+            print(f"{label:<16}{total:>8}{tp:>6}{tp / total:>10.2f}")
+
+    # The shortest bucket must have a higher TP rate than the longest
+    # non-empty bucket — the paper's §6.2.2 correlation.
+    populated = sorted(buckets)
+    first_tp, first_total = buckets[populated[0]]
+    last_tp, last_total = buckets[populated[-1]]
+    assert len(populated) >= 2, "need a length spread to correlate"
+    assert first_tp / first_total > last_tp / last_total
+
+
+def test_length_cutoff_sweep(benchmark, suite_apps, capsys):
+    """Sweep the §6.2.2 cutoff: tighter cutoffs cut FPs before TPs."""
+    app = suite_apps["S"]
+    prepared = prepare(app.sources, app.deployment_descriptor)
+    planted = {(p.rule, p.sink_method): p for p in app.planted}
+
+    def sweep():
+        rows = []
+        for cutoff in (5, 15, 25, 40, None):
+            config = TAJConfig.hybrid_unbounded().with_budget(
+                max_flow_length=cutoff)
+            result = TAJ(config).analyze_prepared(prepared)
+            tp = fp = 0
+            for issue in result.report.issues:
+                key = (issue.rule, issue.sink.split("@")[0])
+                plant = planted.get(key)
+                if plant is not None and plant.is_true_positive:
+                    tp += 1
+                else:
+                    fp += 1
+            rows.append((cutoff, tp, fp))
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    with capsys.disabled():
+        print()
+        print(f"{'cutoff':<10}{'TP':>6}{'FP':>6}   (benchmark S)")
+        for cutoff, tp, fp in rows:
+            print(f"{str(cutoff):<10}{tp:>6}{fp:>6}")
+    unbounded = rows[-1]
+    # Monotone: relaxing the cutoff never loses findings.
+    for (c1, tp1, fp1), (c2, tp2, fp2) in zip(rows, rows[1:]):
+        assert tp1 <= tp2 and fp1 <= fp2
+    # The default cutoff (25) keeps all TPs of this app while cutting FPs.
+    at_default = next(r for r in rows if r[0] == 25)
+    assert at_default[1] == unbounded[1]
+    assert at_default[2] < unbounded[2]

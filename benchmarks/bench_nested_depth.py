@@ -1,0 +1,56 @@
+"""§6.2.3 ablation — nested-taint depth.
+
+"Empirically, we found 2 levels of field dereference to be sufficient."
+We sweep the carrier-detection depth bound over the Figure 4 suite and
+confirm that depth 2 already finds every true positive except the one
+deliberately deep flow (BlueBlog), while deeper settings only add cost.
+"""
+
+from repro.bench import FIGURE4_APPS, score_run
+from repro.core import TAJ, TAJConfig
+from repro.modeling import prepare
+
+
+def _sweep_depths(suite_apps, depths):
+    prepared = {}
+    for name in FIGURE4_APPS:
+        app = suite_apps[name]
+        prepared[name] = prepare(app.sources, app.deployment_descriptor)
+    rows = []
+    for depth in depths:
+        config = TAJConfig.hybrid_unbounded().with_budget(
+            max_nested_depth=depth)
+        tp = fn = 0
+        for name in FIGURE4_APPS:
+            result = TAJ(config).analyze_prepared(prepared[name])
+            score = score_run(suite_apps[name], result)
+            tp += score.tp
+            fn += score.fn
+        rows.append((depth, tp, fn))
+    return rows
+
+
+def test_nested_depth_two_is_sufficient(benchmark, suite_apps, capsys):
+    rows = benchmark.pedantic(
+        _sweep_depths, args=(suite_apps, [0, 1, 2, 3, None]),
+        rounds=1, iterations=1)
+    with capsys.disabled():
+        print()
+        print("=" * 56)
+        print("Nested-taint depth sweep (9 key benchmarks, §6.2.3)")
+        print("=" * 56)
+        print(f"{'depth':<10}{'TP':>6}{'FN':>6}")
+        for depth, tp, fn in rows:
+            print(f"{str(depth):<10}{tp:>6}{fn:>6}")
+
+    by_depth = {depth: (tp, fn) for depth, tp, fn in rows}
+    unbounded_tp, _ = by_depth[None]
+    # Depth 2 misses only the one deliberately deep flow.
+    tp2, fn2 = by_depth[2]
+    assert unbounded_tp - tp2 == 1
+    # Depth 3 recovers it.
+    tp3, _ = by_depth[3]
+    assert tp3 == unbounded_tp
+    # Depth monotonicity.
+    tps = [tp for _, tp, _ in rows]
+    assert tps == sorted(tps)

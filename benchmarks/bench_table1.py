@@ -1,0 +1,27 @@
+"""Table 1 — settings used for the evaluated algorithms.
+
+Regenerates the paper's configuration matrix: which of the five
+configurations uses synthetic models, priority-driven call-graph
+construction, and the §6.2 bounds.
+"""
+
+from repro import TAJConfig, settings_matrix
+
+
+def test_table1_settings_matrix(benchmark, capsys):
+    text = benchmark.pedantic(settings_matrix, rounds=3, iterations=1)
+    with capsys.disabled():
+        print()
+        print("=" * 72)
+        print("Table 1: Settings Used for the Evaluated Algorithms")
+        print("=" * 72)
+        print(text)
+    # The matrix encodes Table 1's structure.
+    configs = {c.name: c for c in TAJConfig.all_presets()}
+    assert not configs["hybrid-unbounded"].prioritized
+    assert configs["hybrid-prioritized"].prioritized
+    assert configs["hybrid-optimized"].prioritized
+    assert configs["hybrid-optimized"].use_whitelist
+    assert configs["hybrid-optimized"].budget.max_flow_length is not None
+    assert configs["cs"].budget.max_state_units is not None
+    assert configs["ci"].context_insensitive_pointers

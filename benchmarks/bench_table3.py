@@ -1,0 +1,85 @@
+"""Table 3 — issues and running time for each algorithm on each of the
+22 benchmarks.
+
+Reproduced shapes (absolute numbers are not expected to match — our
+substrate is a scaled simulator, not the authors' testbed):
+
+* CS completes only on the six smaller benchmarks (A, BlueBlog, Friki,
+  Ginp, I, SBM) and aborts on the other sixteen ("-" cells, the paper's
+  out-of-memory failures);
+* CI reports the most issues on every benchmark (most conservative);
+* the bounded hybrid variants report no more issues than the unbounded
+  one, with large drops on the biggest apps (the paper's GridSphere
+  803 → 116 pattern);
+* the prioritized/optimized configurations are never slower than
+  unbounded on the large truncated applications.
+"""
+
+from repro.bench import (CS_COMPLETES, format_table3, run_suite)
+from repro.core import TAJ, TAJConfig
+
+
+def test_table3_full_matrix(benchmark, suite_apps, capsys):
+    results = benchmark.pedantic(run_suite, args=(suite_apps,),
+                                 rounds=1, iterations=1)
+    with capsys.disabled():
+        print()
+        print("=" * 130)
+        print("Table 3: Issues and Time per Configuration (22 benchmarks"
+              " x 5 configurations)")
+        print("=" * 130)
+        print(format_table3(results))
+
+    apps = sorted(suite_apps)
+    # CS completion pattern.
+    for app in apps:
+        cell = results.cell(app, "cs")
+        assert cell.failed == (app not in CS_COMPLETES), app
+    # CI is the most conservative configuration.
+    for app in apps:
+        ci = results.cell(app, "ci").issues
+        unbounded = results.cell(app, "hybrid-unbounded").issues
+        assert ci >= unbounded, app
+    # Bounds never add issues.
+    for app in apps:
+        unbounded = results.cell(app, "hybrid-unbounded").issues
+        for config in ("hybrid-prioritized", "hybrid-optimized"):
+            assert results.cell(app, config).issues <= unbounded, app
+
+
+def _run_config_on(prepared, config):
+    return TAJ(config).analyze_prepared(prepared)
+
+
+def test_bench_hybrid_unbounded_midsize(benchmark, prepared_cache):
+    prepared = prepared_cache("SBM")
+    result = benchmark(_run_config_on, prepared,
+                       TAJConfig.hybrid_unbounded())
+    assert not result.failed
+
+
+def test_bench_hybrid_optimized_midsize(benchmark, prepared_cache):
+    prepared = prepared_cache("SBM")
+    result = benchmark(_run_config_on, prepared,
+                       TAJConfig.hybrid_optimized())
+    assert not result.failed
+
+
+def test_bench_ci_midsize(benchmark, prepared_cache):
+    prepared = prepared_cache("SBM")
+    result = benchmark(_run_config_on, prepared, TAJConfig.ci())
+    assert not result.failed
+
+
+def test_bench_cs_small(benchmark, prepared_cache):
+    prepared = prepared_cache("Friki")
+    result = benchmark(_run_config_on, prepared, TAJConfig.cs())
+    assert not result.failed
+
+
+def test_bench_large_app_hybrid(benchmark, prepared_cache):
+    prepared = prepared_cache("GridSphere")
+    result = benchmark.pedantic(
+        _run_config_on, args=(prepared, TAJConfig.hybrid_unbounded()),
+        rounds=2, iterations=1)
+    assert not result.failed

@@ -1,0 +1,30 @@
+"""Shared benchmark fixtures.
+
+The generated suite and per-app modeled programs are session-scoped;
+analysis runs never mutate them.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import generate_suite
+from repro.modeling import prepare
+
+
+@pytest.fixture(scope="session")
+def suite_apps():
+    return generate_suite()
+
+
+@pytest.fixture(scope="session")
+def prepared_cache(suite_apps):
+    cache = {}
+
+    def get(name):
+        if name not in cache:
+            app = suite_apps[name]
+            cache[name] = prepare(app.sources, app.deployment_descriptor)
+        return cache[name]
+
+    return get

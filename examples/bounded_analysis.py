@@ -1,0 +1,56 @@
+#!/usr/bin/env python3
+"""Bounded analysis (paper §6): analyzing a large application under a
+fixed call-graph budget.
+
+We generate the suite's budget-pressured benchmark (Webgoat) and sweep
+a node budget with chaotic vs priority-driven construction, then show
+what the fully-optimized configuration adds on top (whitelist code
+reduction, heap-transition / flow-length / nested-depth bounds).
+
+Run:  python examples/bounded_analysis.py
+"""
+
+from repro import TAJ, TAJConfig
+from repro.bench import generate_suite, score_run
+from repro.modeling import prepare
+from repro.bench.suite import benign_lib_classes
+
+
+def main() -> None:
+    app = generate_suite(["Webgoat"])["Webgoat"]
+    prepared = prepare(app.sources, app.deployment_descriptor)
+    total_tp = sum(1 for p in app.planted if p.is_true_positive)
+    print(f"benchmark: Webgoat — {total_tp} planted true positives, "
+          f"{len(app.planted) - total_tp} sanitized/trap patterns")
+    print()
+
+    print(f"{'budget':<10}{'chaotic TP':>12}{'priority TP':>13}"
+          f"{'optimized TP':>14}")
+    whitelist = frozenset(benign_lib_classes(app))
+    for budget in (120, 200, 320, None):
+        row = []
+        for config in (
+                TAJConfig(name="chaotic", slicing="hybrid")
+                .with_budget(max_cg_nodes=budget),
+                TAJConfig(name="priority", slicing="hybrid",
+                          prioritized=True)
+                .with_budget(max_cg_nodes=budget),
+                TAJConfig.hybrid_optimized(max_cg_nodes=budget)):
+            if config.use_whitelist:
+                from dataclasses import replace
+                config = replace(config, whitelist_extra=whitelist)
+            result = TAJ(config).analyze_prepared(prepared)
+            row.append(score_run(app, result).tp)
+        print(f"{str(budget):<10}{row[0]:>12}{row[1]:>13}{row[2]:>14}")
+
+    print()
+    print("what to see: under every constrained budget the priority-")
+    print("driven scheme (§6.1) finds more true positives than chaotic")
+    print("iteration, and the fully-optimized configuration recovers")
+    print("more still — its whitelist code reduction stops benign")
+    print("library classes from consuming the node budget (§7.2's")
+    print("'more efficient use of the limited analysis budget').")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,48 @@
+#!/usr/bin/env python3
+"""Cross-validate static findings with concrete execution.
+
+`repro.interp` is a concrete jlang interpreter with dynamic taint tags —
+the dynamic-analysis counterpart the paper contrasts with static taint
+analysis (§8).  This example runs the motivating program both ways:
+
+* statically (hybrid thin slicing) — one XSS issue;
+* dynamically (real execution, including the reflective dispatch) — the
+  same single sink receives tainted data at run time, confirming the
+  static finding and the two rejections.
+
+Run:  python examples/dynamic_validation.py
+"""
+
+from repro import TAJ, TAJConfig
+from repro.bench.micro import MOTIVATING
+from repro.interp import run_dynamic
+
+
+def main() -> None:
+    print("static analysis (hybrid thin slicing):")
+    static = TAJ(TAJConfig.hybrid_unbounded()).analyze_sources(
+        [MOTIVATING])
+    for issue in static.report.issues:
+        print(f"  [{issue.rule}] sink {issue.sink} "
+              f"({issue.sink_method})")
+
+    print()
+    print("dynamic execution (concrete interpreter, taint tags):")
+    summary = run_dynamic([MOTIVATING])
+    for witness in summary.witnesses:
+        print(f"  tainted sink in {witness.sink_method} via "
+              f"{witness.display}; labels: {sorted(witness.labels)}")
+
+    static_sinks = {i.sink.split("@")[0] for i in static.report.issues}
+    dynamic_sinks = {w.sink_method for w in summary.witnesses}
+    print()
+    print(f"static sink methods : {sorted(static_sinks)}")
+    print(f"dynamic sink methods: {sorted(dynamic_sinks)}")
+    assert static_sinks == dynamic_sinks
+    print("=> the static report is dynamically confirmed: exactly one")
+    print("   of the three println calls receives tainted data, and it")
+    print("   is the one the analysis flagged.")
+
+
+if __name__ == "__main__":
+    main()

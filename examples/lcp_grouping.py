@@ -1,0 +1,64 @@
+#!/usr/bin/env python3
+"""Report minimization with library call points (paper §5, Figure 3).
+
+The servlet below produces several raw tainted flows from one source:
+the same tainted value reaches two library sinks through one shared
+rendering helper (the paper's p1/p2: same LCP, same remediation — ONE
+report), through a different helper (different LCP — separate report),
+and into a SQL sink (different issue type — separate report).
+
+Run:  python examples/lcp_grouping.py
+"""
+
+from repro import TAJ, TAJConfig
+from repro.reporting import render_text
+
+APP = """
+library class Widgets {
+  static void emitTwice(PrintWriter out, String v) {
+    out.println(v);            // n10
+    out.print(v);              // n11 — same remediation as n10
+  }
+}
+
+class App extends HttpServlet {
+  void doGet(HttpServletRequest req, HttpServletResponse resp) {
+    String v = req.getParameter("q");              // the single source
+    PrintWriter out = resp.getWriter();
+
+    // p1/p2: both flows enter library code at the SAME statement (the
+    // emitTwice call) and need the same fix -> one equivalence class.
+    Widgets.emitTwice(out, v);
+
+    // p3: a different library call point -> its own report.
+    out.println(v);
+
+    // p5: same source, but a different issue type (SQLi) -> its own
+    // report with a different remediation.
+    DriverManager.getConnection("db").createStatement()
+        .executeQuery("SELECT * FROM t WHERE q='" + v + "'");
+  }
+}
+"""
+
+
+def main() -> None:
+    result = TAJ(TAJConfig.hybrid_unbounded()).analyze_sources([APP])
+    print(f"raw tainted flows found : {result.raw_flows}")
+    print(f"issues after LCP grouping: {result.issues}")
+    print()
+    print(render_text(result.report, title="LCP-grouped report"))
+
+    assert result.raw_flows > result.issues, "grouping must collapse"
+    by_rule = {r: len(v) for r, v in result.report.by_rule().items()}
+    assert by_rule == {"XSS": 2, "SQLI": 1}, by_rule
+    grouped = [i for i in result.report.issues if i.grouped_flows > 1]
+    assert grouped, "the emitTwice flows share one representative"
+    print()
+    print("=> the two flows through Widgets.emitTwice are one issue")
+    print("   (same library call point, same remediation); the direct")
+    print("   println and the SQL query stay separate.")
+
+
+if __name__ == "__main__":
+    main()

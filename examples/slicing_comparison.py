@@ -1,0 +1,81 @@
+#!/usr/bin/env python3
+"""Compare the three thin-slicing strategies on programs that tell them
+apart (paper §3.2 and §7).
+
+Three probe programs:
+
+1. the motivating example (Figure 1) — context-insensitive slicing
+   cannot disambiguate the three reflective calls;
+2. a cross-thread flow — CS thin slicing's heap threading misses it
+   (the paper's unsoundness on multithreaded applications);
+3. a cross-entrypoint heap flow — hybrid/CI's flow-insensitive heap
+   reports it, CS's call-structure threading does not.
+
+Run:  python examples/slicing_comparison.py
+"""
+
+from repro import TAJ, TAJConfig
+from repro.bench.micro import MICRO_CASES, MOTIVATING
+
+CROSS_ENTRY = """
+class SharedRegistry {
+  static String slot;
+}
+class StoreServlet extends HttpServlet {
+  void doGet(HttpServletRequest req, HttpServletResponse resp) {
+    SharedRegistry.slot = req.getParameter("p");
+  }
+}
+class RenderServlet extends HttpServlet {
+  void doGet(HttpServletRequest req, HttpServletResponse resp) {
+    resp.getWriter().println(SharedRegistry.slot);
+  }
+}
+"""
+
+PROBES = [
+    ("Figure 1 (reflection + containers + carrier)", MOTIVATING, None),
+    ("cross-thread flow", MICRO_CASES["thread_flow"][0], None),
+    ("cross-entrypoint heap flow", CROSS_ENTRY, None),
+]
+
+CONFIGS = [
+    ("hybrid", TAJConfig.hybrid_unbounded),
+    ("cs", lambda: TAJConfig.cs(max_state_units=None)),
+    ("ci", TAJConfig.ci),
+]
+
+
+def main() -> None:
+    header = f"{'probe':<44}" + "".join(f"{name:>9}"
+                                        for name, _ in CONFIGS)
+    print(header)
+    print("-" * len(header))
+    rows = {}
+    for label, source, descriptor in PROBES:
+        row = []
+        for name, make in CONFIGS:
+            result = TAJ(make()).analyze_sources(
+                [source], deployment_descriptor=descriptor)
+            row.append(result.issues)
+        rows[label] = row
+        print(f"{label:<44}" + "".join(f"{n:>9}" for n in row))
+
+    print()
+    print("reading the table:")
+    print(" * Figure 1 has ONE real issue: hybrid and CS report 1;")
+    print("   CI conflates the reflective id() calls and reports 3.")
+    print(" * The thread flow is real: hybrid and CI report it; CS's")
+    print("   sequential heap threading misses it (false negative).")
+    print(" * The cross-entrypoint flow is only feasible across")
+    print("   requests: the flow-insensitive heap (hybrid, CI) reports")
+    print("   it; CS does not.")
+
+    assert rows["Figure 1 (reflection + containers + carrier)"] == \
+        [1, 1, 3]
+    assert rows["cross-thread flow"] == [1, 0, 1]
+    assert rows["cross-entrypoint heap flow"] == [1, 0, 1]
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,124 @@
+#!/usr/bin/env python3
+"""Audit a small realistic web application with the recommended
+(fully-optimized) configuration.
+
+The application below is a miniature blog: a Struts action renders
+user profiles, a servlet searches posts against a database, another
+serves file attachments, and an EJB session bean formats previews.  It
+contains four real vulnerabilities (XSS via the Struts form, SQL
+injection in search, path traversal in attachments, and an information
+leak in the error handler) plus properly sanitized variants that a
+precise analysis must not flag.
+
+Run:  python examples/webapp_audit.py
+"""
+
+from repro import TAJ, TAJConfig
+from repro.reporting import render_text
+
+BLOG_APP = """
+// ---- model objects ----------------------------------------------------
+class Post {
+  String title;
+  String body;
+}
+
+class ProfileForm extends ActionForm {
+  String displayName;
+  String biography;
+}
+
+// ---- Struts action: renders a user profile ----------------------------
+class ProfileAction extends Action {
+  ActionForward execute(ActionMapping mapping, ActionForm form,
+                        HttpServletRequest req, HttpServletResponse resp) {
+    ProfileForm f = (ProfileForm) form;
+    PrintWriter out = resp.getWriter();
+    out.println("<h1>" + f.displayName + "</h1>");            // BAD: XSS
+    out.println(Encoder.encodeForHTML(f.biography));          // OK
+    return null;
+  }
+}
+
+// ---- search servlet: SQL injection -------------------------------------
+class SearchServlet extends HttpServlet {
+  void doGet(HttpServletRequest req, HttpServletResponse resp) {
+    String term = req.getParameter("q");
+    Connection c = DriverManager.getConnection("jdbc:blog");
+    Statement st = c.createStatement();
+    st.executeQuery("SELECT * FROM posts WHERE title LIKE '"
+                    + term + "'");                            // BAD: SQLi
+    String safe = StringEscapeUtils.escapeSql(term);
+    st.executeQuery("SELECT * FROM posts WHERE body LIKE '"
+                    + safe + "'");                            // OK
+  }
+}
+
+// ---- attachment servlet: path traversal ---------------------------------
+class AttachmentServlet extends HttpServlet {
+  void doGet(HttpServletRequest req, HttpServletResponse resp) {
+    String name = req.getParameter("file");
+    FileReader r = new FileReader("attachments/" + name);     // BAD: MFE
+    String normalized = FilenameUtils.normalize(
+        req.getParameter("thumb"));
+    FileReader t = new FileReader(normalized);                // OK
+  }
+}
+
+// ---- error handling: information leakage --------------------------------
+class AdminServlet extends HttpServlet {
+  void doGet(HttpServletRequest req, HttpServletResponse resp) {
+    try {
+      Statement st = DriverManager.getConnection("jdbc:blog")
+          .createStatement();
+      st.executeUpdate("VACUUM");
+    } catch (SQLException e) {
+      resp.getWriter().println(e);                            // BAD: leak
+    }
+  }
+}
+
+// ---- EJB session bean reached through JNDI -------------------------------
+class PreviewBean {
+  String preview(String body) {
+    StringBuilder sb = new StringBuilder();
+    sb.append(body);
+    sb.append("...");
+    return sb.toString();
+  }
+}
+
+class PreviewServlet extends HttpServlet {
+  void doGet(HttpServletRequest req, HttpServletResponse resp) {
+    InitialContext ctx = new InitialContext();
+    Object ref = ctx.lookup("java:comp/env/ejb/Preview");
+    Object home = PortableRemoteObject.narrow(ref, "PreviewHome");
+    PreviewBean bean = (PreviewBean) home.create();
+    String p = bean.preview(req.getParameter("draft"));
+    resp.getWriter().println(p);                              // BAD: XSS
+  }
+}
+"""
+
+DESCRIPTOR = {"java:comp/env/ejb/Preview": "PreviewBean"}
+
+
+def main() -> None:
+    taj = TAJ(TAJConfig.hybrid_optimized())
+    result = taj.analyze_sources([BLOG_APP],
+                                 deployment_descriptor=DESCRIPTOR)
+
+    print(render_text(result.report, title="Audit of the mini blog "
+                                           "application"))
+    print()
+    by_rule = {rule: len(issues)
+               for rule, issues in result.report.by_rule().items()}
+    print(f"issues by rule: {by_rule}")
+    expected = {"XSS": 2, "SQLI": 1, "MALICIOUS_FILE": 1, "INFO_LEAK": 1}
+    assert by_rule == expected, f"expected {expected}, got {by_rule}"
+    print("=> all five planted vulnerabilities found, all four "
+          "sanitized flows correctly rejected.")
+
+
+if __name__ == "__main__":
+    main()

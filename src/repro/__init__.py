@@ -1,0 +1,40 @@
+"""repro — a from-scratch reproduction of *TAJ: Effective Taint Analysis
+of Web Applications* (Tripp, Pistoia, Fink, Sridharan, Weisman;
+PLDI 2009).
+
+The package implements the full TAJ stack over a Java-like language
+("jlang") that stands in for Java bytecode:
+
+* :mod:`repro.lang` / :mod:`repro.ir` / :mod:`repro.ssa` — frontend, IR,
+  and SSA construction;
+* :mod:`repro.pointer` / :mod:`repro.callgraph` — context-sensitive
+  Andersen pointer analysis with on-the-fly, optionally priority-driven
+  call-graph construction;
+* :mod:`repro.sdg` / :mod:`repro.slicing` — the no-heap SDG, RHS
+  tabulation, and the hybrid / CS / CI thin-slicing strategies;
+* :mod:`repro.taint` / :mod:`repro.modeling` / :mod:`repro.reporting` —
+  security rules, taint carriers, web-framework models, and LCP-grouped
+  reports;
+* :mod:`repro.bench` — the synthetic benchmark suite and evaluation
+  harness reproducing the paper's Tables 1-3 and Figure 4.
+
+Quickstart::
+
+    from repro import TAJ, TAJConfig
+
+    result = TAJ(TAJConfig.hybrid_optimized()).analyze_sources([source])
+    print(result.issues)
+"""
+
+from .core import TAJ, TAJConfig, TAJResult, analyze, settings_matrix
+from .taint import (RuleSet, SecurityRule, TaintFlow, default_rules,
+                    extended_rules)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "RuleSet", "SecurityRule", "TAJ", "TAJConfig", "TAJResult",
+    "TaintFlow", "analyze", "default_rules", "extended_rules",
+    "settings_matrix",
+    "__version__",
+]

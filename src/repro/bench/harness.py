@@ -1,0 +1,151 @@
+"""The evaluation harness: runs configurations over the suite and
+renders the paper's Table 3 and Figure 4 analogues."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional
+
+from ..core import TAJ, TAJConfig
+from ..core.results import TAJResult
+from ..modeling import PreparedProgram, prepare
+from .generator import GeneratedApp
+from .oracle import Score, aggregate, score_run
+from .suite import FIGURE4_APPS, benign_lib_classes, generate_suite
+
+
+@dataclass
+class RunRecord:
+    """One (app, config) cell of Table 3."""
+
+    app: str
+    config: str
+    issues: int
+    seconds: float
+    failed: bool
+    cg_nodes: int
+    score: Score
+
+
+@dataclass
+class SuiteResults:
+    """Everything a harness run produced."""
+
+    records: List[RunRecord] = field(default_factory=list)
+
+    def by_config(self) -> Dict[str, List[RunRecord]]:
+        out: Dict[str, List[RunRecord]] = {}
+        for rec in self.records:
+            out.setdefault(rec.config, []).append(rec)
+        return out
+
+    def cell(self, app: str, config: str) -> Optional[RunRecord]:
+        for rec in self.records:
+            if rec.app == app and rec.config == config:
+                return rec
+        return None
+
+
+def default_configs() -> List[TAJConfig]:
+    return TAJConfig.all_presets()
+
+
+def run_suite(apps: Optional[Dict[str, GeneratedApp]] = None,
+              configs: Optional[List[TAJConfig]] = None,
+              app_names: Optional[List[str]] = None) -> SuiteResults:
+    """Run every configuration on every app; the modeled program is
+    prepared once per app and shared across configurations."""
+    if apps is None:
+        apps = generate_suite(app_names)
+    configs = configs if configs is not None else default_configs()
+    results = SuiteResults()
+    for name in sorted(apps):
+        app = apps[name]
+        prepared = prepare(app.sources, app.deployment_descriptor)
+        whitelist_extra = frozenset(benign_lib_classes(app))
+        for config in configs:
+            run_config = config
+            if config.use_whitelist:
+                run_config = replace(config,
+                                     whitelist_extra=whitelist_extra)
+            result = TAJ(run_config).analyze_prepared(prepared)
+            score = score_run(app, result)
+            results.records.append(RunRecord(
+                app=name, config=config.name, issues=result.issues,
+                seconds=result.times.total, failed=result.failed,
+                cg_nodes=result.cg_nodes, score=score))
+    return results
+
+
+# -- rendering ----------------------------------------------------------------
+
+def format_table3(results: SuiteResults,
+                  configs: Optional[List[str]] = None) -> str:
+    """The Table 3 analogue: issues + time per configuration per app.
+
+    Failed runs (CS exceeding its memory-emulation budget) render as
+    "-", as in the paper's empty cells.
+    """
+    config_names = configs or [c.name for c in default_configs()]
+    apps = sorted({rec.app for rec in results.records})
+    header = f"{'Application':<14}"
+    for cname in config_names:
+        short = cname.replace("hybrid-", "h-")
+        header += f"{short + ' iss':>16}{'t(s)':>7}"
+    lines = [header, "-" * len(header)]
+    for app in apps:
+        row = f"{app:<14}"
+        for cname in config_names:
+            rec = results.cell(app, cname)
+            if rec is None or rec.failed:
+                row += f"{'-':>16}{'-':>7}"
+            else:
+                row += f"{rec.issues:>16}{rec.seconds:>7.2f}"
+        lines.append(row)
+    lines.append("-" * len(header))
+    summary = f"{'mean time':<14}"
+    for cname in config_names:
+        recs = [r for r in results.by_config().get(cname, [])
+                if not r.failed]
+        mean = sum(r.seconds for r in recs) / len(recs) if recs else 0.0
+        summary += f"{'':>16}{mean:>7.2f}"
+    lines.append(summary)
+    return "\n".join(lines)
+
+
+def format_figure4(results: SuiteResults,
+                   apps: Optional[List[str]] = None,
+                   configs: Optional[List[str]] = None) -> str:
+    """The Figure 4 analogue: TP/FP breakdown on the key benchmarks,
+    plus per-configuration accuracy scores."""
+    config_names = configs or [c.name for c in default_configs()]
+    apps = apps or FIGURE4_APPS
+    header = f"{'Application':<14}"
+    for cname in config_names:
+        short = cname.replace("hybrid-", "h-")
+        header += f"{short:>22}"
+    lines = [header]
+    sub = f"{'':<14}" + "".join(f"{'TP/FP/FN':>22}" for _ in config_names)
+    lines.append(sub)
+    lines.append("-" * len(sub))
+    for app in apps:
+        row = f"{app:<14}"
+        for cname in config_names:
+            rec = results.cell(app, cname)
+            if rec is None:
+                row += f"{'?':>22}"
+            elif rec.failed:
+                row += f"{'(out of budget)':>22}"
+            else:
+                s = rec.score
+                row += f"{f'{s.tp}/{s.fp}/{s.fn}':>22}"
+        lines.append(row)
+    lines.append("-" * len(sub))
+    acc = f"{'accuracy':<14}"
+    for cname in config_names:
+        scores = [results.cell(app, cname).score for app in apps
+                  if results.cell(app, cname) is not None]
+        agg = aggregate(scores)
+        acc += f"{agg['accuracy']:>22.2f}"
+    lines.append(acc)
+    return "\n".join(lines)

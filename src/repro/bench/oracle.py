@@ -1,0 +1,98 @@
+"""Scoring reported issues against planted ground truth.
+
+A reported issue matches a planted flow when their (rule, sink-method)
+pairs agree — the generator gives every planted pattern a dedicated sink
+method, so this key is unique.  Classification:
+
+* matched + plant is a ``tp*`` kind      → true positive;
+* matched + plant is ``san``/``trap_*``  → false positive (the paper's
+  manual triage would have rejected it);
+* unmatched report                       → false positive;
+* unreported ``tp*`` plant               → false negative.
+
+This mechanical oracle replaces the paper's manual classification of
+reports into true and false positives (Figure 4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Set, Tuple
+
+from ..core.results import TAJResult
+from .generator import GeneratedApp, PlantedFlow
+
+
+@dataclass
+class Score:
+    """TP/FP/FN counts for one analysis run on one app."""
+
+    app: str
+    config: str
+    tp: int = 0
+    fp: int = 0
+    fn: int = 0
+    failed: bool = False
+    seconds: float = 0.0
+    issues: int = 0
+    matched_tp_kinds: Dict[str, int] = field(default_factory=dict)
+    missed: List[PlantedFlow] = field(default_factory=list)
+    false_kinds: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def accuracy(self) -> float:
+        """TP / (TP + FP) — the paper's accuracy score."""
+        total = self.tp + self.fp
+        return self.tp / total if total else 0.0
+
+
+def _issue_keys(result: TAJResult) -> Set[Tuple[str, str]]:
+    return {(issue.rule, issue.sink.split("@")[0])
+            for issue in result.report.issues}
+
+
+def score_run(app: GeneratedApp, result: TAJResult) -> Score:
+    """Classify one run's report against the app's ground truth."""
+    score = Score(app=app.spec.name, config=result.config_name,
+                  failed=result.failed, seconds=result.times.total,
+                  issues=result.issues)
+    if result.failed:
+        # The run aborted (paper: CS out-of-memory); nothing reported.
+        score.fn = sum(1 for p in app.planted if p.is_true_positive)
+        score.missed = [p for p in app.planted if p.is_true_positive]
+        return score
+    planted: Dict[Tuple[str, str], PlantedFlow] = {
+        (p.rule, p.sink_method): p for p in app.planted}
+    got = _issue_keys(result)
+    for key in got:
+        plant = planted.get(key)
+        if plant is not None and plant.is_true_positive:
+            score.tp += 1
+            score.matched_tp_kinds[plant.kind] = \
+                score.matched_tp_kinds.get(plant.kind, 0) + 1
+        else:
+            score.fp += 1
+            kind = plant.kind if plant is not None else "unplanted"
+            score.false_kinds[kind] = score.false_kinds.get(kind, 0) + 1
+    for key, plant in planted.items():
+        if plant.is_true_positive and key not in got:
+            score.fn += 1
+            score.missed.append(plant)
+    return score
+
+
+def aggregate(scores: List[Score]) -> Dict[str, float]:
+    """Suite-level aggregates for one configuration."""
+    completed = [s for s in scores if not s.failed]
+    tp = sum(s.tp for s in completed)
+    fp = sum(s.fp for s in completed)
+    fn = sum(s.fn for s in completed)
+    return {
+        "tp": tp,
+        "fp": fp,
+        "fn": fn,
+        "accuracy": tp / (tp + fp) if (tp + fp) else 0.0,
+        "failures": sum(1 for s in scores if s.failed),
+        "mean_seconds": (sum(s.seconds for s in completed) /
+                         len(completed)) if completed else 0.0,
+    }

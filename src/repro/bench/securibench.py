@@ -1,0 +1,488 @@
+"""A SecuriBench-Micro-style case collection.
+
+The paper's motivating example is "partially inspired by the Refl1 case
+in Stanford SecuriBench Micro" (footnote 1).  This module provides our
+analogue of that suite: small single-capability cases organized by the
+classic SecuriBench categories, each annotated with the number of issues
+a precise, sound analysis reports.
+
+``CASES[category][name] = (source, {rule: expected_count})``
+
+Used three ways: as integration tests per configuration, as dynamic-
+validation inputs, and as a per-category precision scoreboard
+(``tests/integration/test_securibench.py``).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+Case = Tuple[str, Dict[str, int]]
+
+CASES: Dict[str, Dict[str, Case]] = {}
+
+
+def _case(category: str, name: str, expected: Dict[str, int],
+          source: str) -> None:
+    CASES.setdefault(category, {})[name] = (source, expected)
+
+
+# -- basic -------------------------------------------------------------------
+
+_case("basic", "Basic1", {"XSS": 1}, """
+class Basic1 extends HttpServlet {
+  void doGet(HttpServletRequest req, HttpServletResponse resp) {
+    String s = req.getParameter("name");
+    resp.getWriter().println(s);
+  }
+}""")
+
+_case("basic", "Basic2_concat", {"XSS": 1}, """
+class Basic2 extends HttpServlet {
+  void doGet(HttpServletRequest req, HttpServletResponse resp) {
+    String s = "pre" + req.getParameter("name") + "post";
+    resp.getWriter().println(s);
+  }
+}""")
+
+_case("basic", "Basic3_conditional", {"XSS": 1}, """
+class Basic3 extends HttpServlet {
+  void doGet(HttpServletRequest req, HttpServletResponse resp) {
+    String s = req.getParameter("name");
+    String out = "default";
+    if (s.length() > 3) { out = s; }
+    resp.getWriter().println(out);
+  }
+}""")
+
+_case("basic", "Basic4_loop_accumulate", {"XSS": 1}, """
+class Basic4 extends HttpServlet {
+  void doGet(HttpServletRequest req, HttpServletResponse resp) {
+    String acc = "";
+    for (int i = 0; i < 3; i++) {
+      acc = acc + req.getParameter("chunk");
+    }
+    resp.getWriter().println(acc);
+  }
+}""")
+
+_case("basic", "Basic5_both_sinks", {"XSS": 1, "SQLI": 1}, """
+class Basic5 extends HttpServlet {
+  void doGet(HttpServletRequest req, HttpServletResponse resp) {
+    String s = req.getParameter("q");
+    resp.getWriter().println(s);
+    DriverManager.getConnection("db").createStatement()
+        .executeQuery("SELECT " + s);
+  }
+}""")
+
+_case("basic", "Basic6_header_source", {"XSS": 1}, """
+class Basic6 extends HttpServlet {
+  void doGet(HttpServletRequest req, HttpServletResponse resp) {
+    resp.getWriter().println(req.getHeader("User-Agent"));
+  }
+}""")
+
+# -- aliasing -------------------------------------------------------------------
+
+_case("aliasing", "Aliasing1_direct", {"XSS": 1}, """
+class Aliasing1 extends HttpServlet {
+  void doGet(HttpServletRequest req, HttpServletResponse resp) {
+    String a = req.getParameter("name");
+    String b = a;
+    resp.getWriter().println(b);
+  }
+}""")
+
+_case("aliasing", "Aliasing2_object_alias", {"XSS": 1}, """
+class Holder2a { String v; }
+class Aliasing2 extends HttpServlet {
+  void doGet(HttpServletRequest req, HttpServletResponse resp) {
+    Holder2a h1 = new Holder2a();
+    Holder2a h2 = h1;
+    h1.v = req.getParameter("name");
+    resp.getWriter().println(h2.v);
+  }
+}""")
+
+_case("aliasing", "Aliasing3_distinct_objects", {"XSS": 0}, """
+class Holder3a { String v; }
+class Aliasing3 extends HttpServlet {
+  void doGet(HttpServletRequest req, HttpServletResponse resp) {
+    Holder3a dirty = new Holder3a();
+    Holder3a clean = new Holder3a();
+    dirty.v = req.getParameter("name");
+    clean.v = "safe";
+    resp.getWriter().println(clean.v);
+  }
+}""")
+
+# -- arrays ----------------------------------------------------------------------
+
+_case("arrays", "Arrays1_store_load", {"XSS": 1}, """
+class Arrays1 extends HttpServlet {
+  void doGet(HttpServletRequest req, HttpServletResponse resp) {
+    String[] a = new String[4];
+    a[0] = req.getParameter("name");
+    resp.getWriter().println(a[0]);
+  }
+}""")
+
+_case("arrays", "Arrays2_collapsed_indices", {"XSS": 1}, """
+class Arrays2 extends HttpServlet {
+  void doGet(HttpServletRequest req, HttpServletResponse resp) {
+    String[] a = new String[4];
+    a[0] = req.getParameter("name");
+    a[1] = "safe";
+    // Index-insensitive array model: reading a[1] may see a[0], so a
+    // sound analysis reports this (a known over-approximation).
+    resp.getWriter().println(a[1]);
+  }
+}""")
+
+_case("arrays", "Arrays3_distinct_arrays", {"XSS": 0}, """
+class Arrays3 extends HttpServlet {
+  void doGet(HttpServletRequest req, HttpServletResponse resp) {
+    String[] dirty = new String[2];
+    String[] clean = new String[2];
+    dirty[0] = req.getParameter("name");
+    clean[0] = "safe";
+    resp.getWriter().println(clean[0]);
+  }
+}""")
+
+# -- collections ---------------------------------------------------------------------
+
+_case("collections", "Collections1_map_hit", {"XSS": 1}, """
+class Collections1 extends HttpServlet {
+  void doGet(HttpServletRequest req, HttpServletResponse resp) {
+    HashMap m = new HashMap();
+    m.put("k", req.getParameter("name"));
+    resp.getWriter().println(m.get("k"));
+  }
+}""")
+
+_case("collections", "Collections2_key_miss", {"XSS": 0}, """
+class Collections2 extends HttpServlet {
+  void doGet(HttpServletRequest req, HttpServletResponse resp) {
+    HashMap m = new HashMap();
+    m.put("dirty", req.getParameter("name"));
+    resp.getWriter().println(m.get("clean"));
+  }
+}""")
+
+_case("collections", "Collections3_unknown_key", {"XSS": 1}, """
+class Collections3 extends HttpServlet {
+  void doGet(HttpServletRequest req, HttpServletResponse resp) {
+    HashMap m = new HashMap();
+    m.put("dirty", req.getParameter("name"));
+    String k = req.getParameter("which");
+    resp.getWriter().println(m.get(k));
+  }
+}""")
+
+_case("collections", "Collections4_list", {"XSS": 1}, """
+class Collections4 extends HttpServlet {
+  void doGet(HttpServletRequest req, HttpServletResponse resp) {
+    LinkedList l = new LinkedList();
+    l.add(req.getParameter("name"));
+    resp.getWriter().println(l.get(0));
+  }
+}""")
+
+_case("collections", "Collections5_distinct_maps", {"XSS": 0}, """
+class Collections5 extends HttpServlet {
+  void doGet(HttpServletRequest req, HttpServletResponse resp) {
+    HashMap dirty = new HashMap();
+    HashMap clean = new HashMap();
+    dirty.put("k", req.getParameter("name"));
+    clean.put("k", "safe");
+    resp.getWriter().println(clean.get("k"));
+  }
+}""")
+
+# -- inter (interprocedural) -----------------------------------------------------------
+
+_case("inter", "Inter1_static_helper", {"XSS": 1}, """
+class Util1i { static String id(String v) { return v; } }
+class Inter1 extends HttpServlet {
+  void doGet(HttpServletRequest req, HttpServletResponse resp) {
+    resp.getWriter().println(Util1i.id(req.getParameter("name")));
+  }
+}""")
+
+_case("inter", "Inter2_virtual_chain", {"XSS": 1}, """
+class Hop2i {
+  String one(String v) { return this.two(v); }
+  String two(String v) { return v; }
+}
+class Inter2 extends HttpServlet {
+  void doGet(HttpServletRequest req, HttpServletResponse resp) {
+    Hop2i h = new Hop2i();
+    resp.getWriter().println(h.one(req.getParameter("name")));
+  }
+}""")
+
+_case("inter", "Inter3_context_matters", {"XSS": 0}, """
+class Id3i { static String id(String v) { return v; } }
+class Inter3 extends HttpServlet {
+  void doGet(HttpServletRequest req, HttpServletResponse resp) {
+    String dirty = Id3i.id(req.getParameter("name"));
+    String clean = Id3i.id("constant");
+    resp.getWriter().println(clean);
+  }
+}""")
+
+_case("inter", "Inter4_sink_in_callee", {"XSS": 1}, """
+class Render4i {
+  static void show(HttpServletResponse resp, String v) {
+    resp.getWriter().println(v);
+  }
+}
+class Inter4 extends HttpServlet {
+  void doGet(HttpServletRequest req, HttpServletResponse resp) {
+    Render4i.show(resp, req.getParameter("name"));
+  }
+}""")
+
+_case("inter", "Inter5_source_in_callee", {"XSS": 1}, """
+class Fetch5i {
+  static String read(HttpServletRequest req) {
+    return req.getParameter("name");
+  }
+}
+class Inter5 extends HttpServlet {
+  void doGet(HttpServletRequest req, HttpServletResponse resp) {
+    resp.getWriter().println(Fetch5i.read(req));
+  }
+}""")
+
+_case("inter", "Inter6_recursion", {"XSS": 1}, """
+class Rec6i {
+  static String spin(String v, int n) {
+    if (n > 0) { return Rec6i.spin(v, n - 1); }
+    return v;
+  }
+}
+class Inter6 extends HttpServlet {
+  void doGet(HttpServletRequest req, HttpServletResponse resp) {
+    resp.getWriter().println(Rec6i.spin(req.getParameter("name"), 3));
+  }
+}""")
+
+# -- sanitizers --------------------------------------------------------------------------
+
+_case("sanitizers", "Sanitizers1_direct", {"XSS": 0}, """
+class Sanitizers1 extends HttpServlet {
+  void doGet(HttpServletRequest req, HttpServletResponse resp) {
+    resp.getWriter().println(
+        URLEncoder.encode(req.getParameter("name")));
+  }
+}""")
+
+_case("sanitizers", "Sanitizers2_wrong_rule", {"SQLI": 1}, """
+class Sanitizers2 extends HttpServlet {
+  void doGet(HttpServletRequest req, HttpServletResponse resp) {
+    // URL-encoding does not defend against SQL injection.
+    String s = URLEncoder.encode(req.getParameter("q"));
+    DriverManager.getConnection("db").createStatement()
+        .executeQuery("SELECT " + s);
+  }
+}""")
+
+_case("sanitizers", "Sanitizers3_partial_path", {"XSS": 1}, """
+class Sanitizers3 extends HttpServlet {
+  void doGet(HttpServletRequest req, HttpServletResponse resp) {
+    String raw = req.getParameter("name");
+    String safe = URLEncoder.encode(raw);
+    resp.getWriter().println(safe);
+    resp.getWriter().println(raw);
+  }
+}""")
+
+_case("sanitizers", "Sanitizers4_in_helper", {"XSS": 0}, """
+class Clean4s {
+  static String scrub(String v) { return URLEncoder.encode(v); }
+}
+class Sanitizers4 extends HttpServlet {
+  void doGet(HttpServletRequest req, HttpServletResponse resp) {
+    resp.getWriter().println(Clean4s.scrub(req.getParameter("name")));
+  }
+}""")
+
+# -- session -----------------------------------------------------------------------------
+
+_case("session", "Session1_same_key", {"XSS": 1}, """
+class Session1 extends HttpServlet {
+  void doGet(HttpServletRequest req, HttpServletResponse resp) {
+    HttpSession s = req.getSession();
+    s.setAttribute("user", req.getParameter("name"));
+    resp.getWriter().println(s.getAttribute("user"));
+  }
+}""")
+
+_case("session", "Session2_other_key", {"XSS": 0}, """
+class Session2 extends HttpServlet {
+  void doGet(HttpServletRequest req, HttpServletResponse resp) {
+    HttpSession s = req.getSession();
+    s.setAttribute("user", req.getParameter("name"));
+    resp.getWriter().println(s.getAttribute("theme"));
+  }
+}""")
+
+# -- datastructures (taint carriers / nested state) ---------------------------------------
+
+_case("datastructures", "Data1_wrapper", {"XSS": 1}, """
+class Wrap1d { String v; Wrap1d(String v) { this.v = v; } }
+class Data1 extends HttpServlet {
+  void doGet(HttpServletRequest req, HttpServletResponse resp) {
+    resp.getWriter().println(new Wrap1d(req.getParameter("name")));
+  }
+}""")
+
+_case("datastructures", "Data2_getter", {"XSS": 1}, """
+class Wrap2d {
+  String v;
+  Wrap2d(String v) { this.v = v; }
+  String get() { return this.v; }
+}
+class Data2 extends HttpServlet {
+  void doGet(HttpServletRequest req, HttpServletResponse resp) {
+    Wrap2d w = new Wrap2d(req.getParameter("name"));
+    resp.getWriter().println(w.get());
+  }
+}""")
+
+_case("datastructures", "Data3_two_fields", {"XSS": 0}, """
+class Pair3d { String a; String b; }
+class Data3 extends HttpServlet {
+  void doGet(HttpServletRequest req, HttpServletResponse resp) {
+    Pair3d p = new Pair3d();
+    p.a = req.getParameter("name");
+    p.b = "safe";
+    resp.getWriter().println(p.b);
+  }
+}""")
+
+_case("datastructures", "Data4_field_overwrite_weak", {"XSS": 1}, """
+class Slot4d { String v; }
+class Data4 extends HttpServlet {
+  void doGet(HttpServletRequest req, HttpServletResponse resp) {
+    Slot4d s = new Slot4d();
+    s.v = req.getParameter("name");
+    s.v = "overwritten";
+    // Flow-insensitive heap (weak updates): still reported, per the
+    // hybrid algorithm's design.
+    resp.getWriter().println(s.v);
+  }
+}""")
+
+# -- factories ------------------------------------------------------------------------------
+
+_case("factories", "Factories1_distinct_products", {"XSS": 0}, """
+class Prod1f { String v; }
+library class Maker1f {
+  static Prod1f create() { return new Prod1f(); }
+}
+class Factories1 extends HttpServlet {
+  void doGet(HttpServletRequest req, HttpServletResponse resp) {
+    Prod1f dirty = Maker1f.create();
+    Prod1f clean = Maker1f.create();
+    dirty.v = req.getParameter("name");
+    clean.v = "safe";
+    resp.getWriter().println(clean.v);
+  }
+}""")
+
+_case("factories", "Factories2_tainted_product", {"XSS": 1}, """
+class Prod2f { String v; }
+library class Maker2f {
+  static Prod2f create() { return new Prod2f(); }
+}
+class Factories2 extends HttpServlet {
+  void doGet(HttpServletRequest req, HttpServletResponse resp) {
+    Prod2f p = Maker2f.create();
+    p.v = req.getParameter("name");
+    resp.getWriter().println(p.v);
+  }
+}""")
+
+# -- reflection ---------------------------------------------------------------------------------
+
+_case("reflection", "Refl1_motivating_core", {"XSS": 1}, """
+class Target1r {
+  public String id(String v) { return v; }
+}
+class Refl1 extends HttpServlet {
+  void doGet(HttpServletRequest req, HttpServletResponse resp) {
+    Target1r t = new Target1r();
+    Class k = Class.forName("Target1r");
+    Method m = k.getMethod("id");
+    resp.getWriter().println(
+        m.invoke(t, new Object[] { req.getParameter("name") }));
+  }
+}""")
+
+_case("reflection", "Refl2_newinstance", {"XSS": 1}, """
+class Target2r {
+  String v;
+  public String toString() { return this.v; }
+}
+class Refl2 extends HttpServlet {
+  void doGet(HttpServletRequest req, HttpServletResponse resp) {
+    Class k = Class.forName("Target2r");
+    Target2r t = (Target2r) k.newInstance();
+    t.v = req.getParameter("name");
+    resp.getWriter().println(t);
+  }
+}""")
+
+_case("reflection", "Refl3_name_filter_excludes", {"XSS": 0}, """
+class Target3r {
+  public String pass(String v) { return v; }
+  public String block(String v) { return "safe"; }
+}
+class Refl3 extends HttpServlet {
+  void doGet(HttpServletRequest req, HttpServletResponse resp) {
+    Target3r t = new Target3r();
+    Class k = Class.forName("Target3r");
+    Method m = k.getMethod("block");
+    resp.getWriter().println(
+        m.invoke(t, new Object[] { req.getParameter("name") }));
+  }
+}""")
+
+# -- strong updates (known over-approximations) -------------------------------------------------
+
+_case("strong_updates", "Strong1_local_overwrite", {"XSS": 0}, """
+class Strong1 extends HttpServlet {
+  void doGet(HttpServletRequest req, HttpServletResponse resp) {
+    String s = req.getParameter("name");
+    s = "overwritten";
+    // SSA gives locals strong updates: no report.
+    resp.getWriter().println(s);
+  }
+}""")
+
+_case("strong_updates", "Strong2_branch_join", {"XSS": 1}, """
+class Strong2 extends HttpServlet {
+  void doGet(HttpServletRequest req, HttpServletResponse resp) {
+    String s = "safe";
+    if (req.getParameter("flag").length() > 0) {
+      s = req.getParameter("name");
+    }
+    resp.getWriter().println(s);
+  }
+}""")
+
+
+def all_cases():
+    """Flattened iteration: (category, name, source, expected)."""
+    for category in sorted(CASES):
+        for name in sorted(CASES[category]):
+            source, expected = CASES[category][name]
+            yield category, name, source, expected
+
+
+def case_count() -> int:
+    return sum(len(v) for v in CASES.values())

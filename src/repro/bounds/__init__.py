@@ -1,0 +1,5 @@
+"""Budget objects shared by every bounded-analysis technique."""
+
+from .budget import Budget, BudgetExhausted, StateMeter, UNBOUNDED
+
+__all__ = ["Budget", "BudgetExhausted", "StateMeter", "UNBOUNDED"]

@@ -1,0 +1,7 @@
+"""Call graphs and the priority-driven construction scheme of §6.1."""
+
+from .graph import CallGraph, CGEdge, CGNode
+from .priority import PriorityOrder, method_load_fields, method_store_fields
+
+__all__ = ["CallGraph", "CGEdge", "CGNode", "PriorityOrder",
+           "method_load_fields", "method_store_fields"]

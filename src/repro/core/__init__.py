@@ -1,0 +1,15 @@
+"""The TAJ facade, configurations, and result types."""
+
+from .config import (DEFAULT_CG_NODE_BOUND, DEFAULT_CS_STATE_UNITS,
+                     DEFAULT_FLOW_LENGTH_BOUND,
+                     DEFAULT_HEAP_TRANSITION_BOUND, DEFAULT_NESTED_DEPTH,
+                     TAJConfig, settings_matrix)
+from .results import PhaseTimes, TAJResult
+from .taj import TAJ, analyze
+
+__all__ = [
+    "DEFAULT_CG_NODE_BOUND", "DEFAULT_CS_STATE_UNITS",
+    "DEFAULT_FLOW_LENGTH_BOUND", "DEFAULT_HEAP_TRANSITION_BOUND",
+    "DEFAULT_NESTED_DEPTH", "PhaseTimes", "TAJ", "TAJConfig", "TAJResult",
+    "analyze", "settings_matrix",
+]

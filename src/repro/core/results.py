@@ -1,0 +1,56 @@
+"""Result objects returned by the TAJ facade."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..reporting import Report
+from ..taint.flows import TaintFlow
+
+
+@dataclass
+class PhaseTimes:
+    """Wall-clock seconds per analysis phase."""
+
+    modeling: float = 0.0
+    pointer_analysis: float = 0.0
+    sdg: float = 0.0
+    taint: float = 0.0
+    reporting: float = 0.0
+
+    @property
+    def total(self) -> float:
+        return (self.modeling + self.pointer_analysis + self.sdg +
+                self.taint + self.reporting)
+
+
+@dataclass
+class TAJResult:
+    """Everything one analysis run produced."""
+
+    config_name: str
+    report: Report = None
+    flows: List[TaintFlow] = field(default_factory=list)
+    times: PhaseTimes = field(default_factory=PhaseTimes)
+    cg_nodes: int = 0
+    cg_edges: int = 0
+    failed: bool = False          # hard budget failure (paper: CS OOM)
+    failure: Optional[str] = None
+    truncated: bool = False       # a soft bound trimmed the analysis
+    stats: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def issues(self) -> int:
+        """Reported issues (post-grouping), the Table 3 'Issues' column."""
+        return self.report.count() if self.report else 0
+
+    @property
+    def raw_flows(self) -> int:
+        return len(self.flows)
+
+    def flows_by_rule(self) -> Dict[str, List[TaintFlow]]:
+        out: Dict[str, List[TaintFlow]] = {}
+        for flow in self.flows:
+            out.setdefault(flow.rule, []).append(flow)
+        return out

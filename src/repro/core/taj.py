@@ -1,0 +1,149 @@
+"""The TAJ facade: the paper's two-stage analysis as one call.
+
+Stage 1 — pointer analysis and call-graph construction (§3.1), with the
+custom context-sensitivity policy, optional priority-driven ordering
+(§6.1), and the whitelist code reduction.
+
+Stage 2 — taint tracking by thin slicing over the HSDG (§3.2), carrier
+detection (§4.1.1), bounds (§6.2), and LCP-grouped reporting (§5).
+
+Typical use::
+
+    from repro import TAJ, TAJConfig
+
+    taj = TAJ(TAJConfig.hybrid_optimized())
+    result = taj.analyze_sources([open("app.jlang").read()])
+    for issue in result.report.issues:
+        print(issue.rule, issue.sink_method, issue.remediation)
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List, Optional
+
+from ..bounds import Budget
+from ..callgraph import PriorityOrder
+from ..modeling import (COLLECTION_CLASSES, FACTORY_METHODS, ModelOptions,
+                        PreparedProgram, default_natives, prepare)
+from ..pointer import (ChaoticOrder, ContextPolicy, PointerAnalysis,
+                       PolicyConfig)
+from ..pointer.heapgraph import HeapGraph
+from ..reporting import build_report
+from ..sdg.hsdg import DirectEdges
+from ..sdg.noheap import NoHeapSDG
+from ..slicing.cs import CSExtendedSDG
+from ..taint import RuleSet, TaintEngine, default_rules
+from .config import TAJConfig
+from .results import PhaseTimes, TAJResult
+
+
+class TAJ:
+    """Taint Analysis for jlang — the reproduction's entry point."""
+
+    def __init__(self, config: Optional[TAJConfig] = None,
+                 rules: Optional[RuleSet] = None) -> None:
+        self.config = config or TAJConfig.hybrid_optimized()
+        self.rules = rules or default_rules()
+
+    # -- public API ------------------------------------------------------------
+
+    def analyze_sources(self, sources: List[str],
+                        deployment_descriptor: Optional[Dict[str, str]]
+                        = None,
+                        extra_entrypoints: Optional[List[str]] = None
+                        ) -> TAJResult:
+        """Model + analyze jlang application sources."""
+        times = PhaseTimes()
+        started = time.perf_counter()
+        prepared = prepare(sources, deployment_descriptor,
+                           self.config.models, extra_entrypoints)
+        times.modeling = time.perf_counter() - started
+        return self.analyze_prepared(prepared, times)
+
+    def analyze_prepared(self, prepared: PreparedProgram,
+                         times: Optional[PhaseTimes] = None) -> TAJResult:
+        """Analyze an already modeled program (lets callers share the
+        modeling phase across configurations)."""
+        config = self.config
+        times = times or PhaseTimes()
+        result = TAJResult(config_name=config.name, times=times)
+        program = prepared.program
+
+        # ---- stage 1: pointer analysis + call graph -----------------------
+        started = time.perf_counter()
+        policy = ContextPolicy(self._policy_config())
+        order = self._ordering(config)
+        excluded = set()
+        if config.use_whitelist:
+            excluded = set(prepared.whitelist) | {
+                name for name in config.whitelist_extra
+                if (cls := program.get_class(name)) and cls.is_library}
+        analysis = PointerAnalysis(
+            program, policy, natives=default_natives(), order=order,
+            budget=config.budget,
+            excluded_classes=excluded)
+        analysis.solve()
+        times.pointer_analysis = time.perf_counter() - started
+        result.cg_nodes = analysis.call_graph.node_count()
+        result.cg_edges = analysis.call_graph.edge_count()
+        result.truncated = analysis.truncated
+
+        # ---- stage 2: dependence graphs + taint tracking ---------------------
+        started = time.perf_counter()
+        if config.slicing == "cs":
+            sdg = CSExtendedSDG(program, analysis.call_graph, analysis)
+        else:
+            sdg = NoHeapSDG(program, analysis.call_graph)
+        direct = DirectEdges(sdg, analysis)
+        heap_graph = HeapGraph(analysis)
+        times.sdg = time.perf_counter() - started
+
+        started = time.perf_counter()
+        engine = TaintEngine(sdg, direct, heap_graph, self.rules,
+                             config.budget, strategy=config.slicing)
+        taint = engine.run()
+        times.taint = time.perf_counter() - started
+
+        result.flows = taint.flows
+        result.failed = taint.failed
+        result.failure = taint.failure
+        result.truncated = result.truncated or taint.truncated
+        result.stats = dict(prepared.stats)
+        result.stats.update(analysis.stats)
+        result.stats["suppressed_by_length"] = taint.suppressed_by_length
+        result.stats["state_units"] = taint.state_units
+
+        # ---- reporting (§5) ---------------------------------------------------
+        started = time.perf_counter()
+        result.report = build_report(taint.flows, self.rules, program)
+        times.reporting = time.perf_counter() - started
+        return result
+
+    # -- internals ----------------------------------------------------------------
+
+    def _policy_config(self) -> PolicyConfig:
+        config = self.config
+        if config.context_insensitive_pointers:
+            return PolicyConfig.insensitive()
+        return PolicyConfig(
+            object_sensitive=config.object_sensitive,
+            collections_unlimited=config.collections_unlimited,
+            factory_call_strings=config.factory_call_strings,
+            taint_api_call_strings=config.taint_api_call_strings,
+            collection_classes=set(COLLECTION_CLASSES),
+            factory_methods=set(FACTORY_METHODS),
+            taint_api_methods=self.rules.taint_api_methods(),
+        )
+
+    def _ordering(self, config: TAJConfig):
+        if not config.prioritized:
+            return ChaoticOrder()
+        max_nodes = config.budget.max_cg_nodes or 10 ** 9
+        return PriorityOrder(self.rules.all_source_methods(), max_nodes)
+
+
+def analyze(sources: List[str], config: Optional[TAJConfig] = None,
+            rules: Optional[RuleSet] = None, **kwargs) -> TAJResult:
+    """One-shot convenience wrapper around :class:`TAJ`."""
+    return TAJ(config, rules).analyze_sources(sources, **kwargs)

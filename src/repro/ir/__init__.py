@@ -1,0 +1,32 @@
+"""jlang IR: a three-address, class-based register-transfer representation.
+
+This plays the role WALA's IR plays for TAJ: the common substrate consumed
+by SSA construction, pointer analysis, call-graph construction, and the
+dependence graphs used by hybrid thin slicing.
+"""
+
+from .hierarchy import ClassHierarchy
+from .instructions import (ARRAY_CONTENTS, Assign, ArrayLoad, ArrayStore,
+                           BinOp, Call, Cast, Const, EnterCatch, Goto, If,
+                           Instruction, Load, New, NewArray, Phi, Return,
+                           Select, StaticLoad, StaticStore, Store, StringOp,
+                           Throw,
+                           UnOp, Var, is_terminator)
+from .printer import format_class, format_method, format_program
+from .program import BasicBlock, ClassDecl, FieldDecl, Method, Param, Program
+from .types import (ArrayType, BOOLEAN, ClassType, INT, NULL, OBJECT,
+                    PrimitiveType, STRING, Type, VOID, erasure, parse_type)
+from .validate import ValidationError, validate_method, validate_program
+
+__all__ = [
+    "ARRAY_CONTENTS", "ArrayLoad", "ArrayStore", "ArrayType", "Assign",
+    "BasicBlock", "BinOp", "BOOLEAN", "Call", "Cast", "ClassDecl", "ClassHierarchy",
+    "ClassType", "Const", "EnterCatch", "FieldDecl", "Goto", "If",
+    "Instruction", "INT", "Load", "Method", "New", "NewArray", "NULL",
+    "OBJECT", "Param", "Phi", "PrimitiveType", "Program", "Return",
+    "Select",
+    "StaticLoad", "StaticStore", "Store", "STRING", "StringOp", "Throw",
+    "Type", "UnOp", "ValidationError", "Var", "VOID", "erasure",
+    "format_class", "format_method", "format_program", "is_terminator",
+    "parse_type", "validate_method", "validate_program",
+]

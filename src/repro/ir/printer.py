@@ -1,0 +1,55 @@
+"""Human-readable IR dumps, used by tests and debugging."""
+
+from __future__ import annotations
+
+from typing import List
+
+from .program import ClassDecl, Method, Program
+
+
+def format_method(method: Method) -> str:
+    lines: List[str] = []
+    mods = []
+    if method.is_static:
+        mods.append("static")
+    if method.is_native:
+        mods.append("native")
+    if method.is_synthetic:
+        mods.append("synthetic")
+    prefix = (" ".join(mods) + " ") if mods else ""
+    params = ", ".join(f"{p.type} {p.name}" for p in method.params)
+    lines.append(f"{prefix}{method.return_type} {method.qname}({params}) {{")
+    for bid in sorted(method.blocks):
+        block = method.blocks[bid]
+        succs = ",".join(f"B{s}" for s in block.succs)
+        lines.append(f"  B{bid}:  // -> {succs or 'exit'}")
+        for instr in block.instrs:
+            lines.append(f"    [{instr.iid:>3}] {instr}")
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def format_class(cls: ClassDecl) -> str:
+    lines: List[str] = []
+    kind = "interface" if cls.is_interface else "class"
+    lib = "library " if cls.is_library else ""
+    ext = f" extends {cls.super_name}" if cls.super_name else ""
+    impl = f" implements {', '.join(cls.interfaces)}" if cls.interfaces else ""
+    lines.append(f"{lib}{kind} {cls.name}{ext}{impl} {{")
+    for fld in cls.fields.values():
+        mods = "static " if fld.is_static else ""
+        lines.append(f"  {mods}{fld.type} {fld.name};")
+    for method in cls.methods.values():
+        body = format_method(method)
+        lines.extend("  " + line for line in body.splitlines())
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def format_program(program: Program) -> str:
+    parts = [format_class(cls)
+             for name, cls in sorted(program.classes.items())]
+    header = ""
+    if program.entrypoints:
+        header = "// entrypoints: " + ", ".join(program.entrypoints) + "\n"
+    return header + "\n\n".join(parts)

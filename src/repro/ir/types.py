@@ -1,0 +1,87 @@
+"""Type representations for the jlang IR.
+
+The IR is nominally typed but deliberately loose: types guide virtual
+dispatch, cast-based framework modeling (Struts), and the string-carrier
+rewrite, and are otherwise not enforced.  This mirrors the role types play
+in WALA's register-transfer IR as consumed by TAJ.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Type:
+    """Base class for IR types."""
+
+    def is_reference(self) -> bool:
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class PrimitiveType(Type):
+    """A primitive type such as ``int`` or ``boolean``."""
+
+    name: str
+
+    def is_reference(self) -> bool:
+        return False
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class ClassType(Type):
+    """A reference type named by its class or interface."""
+
+    name: str
+
+    def is_reference(self) -> bool:
+        return True
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class ArrayType(Type):
+    """An array type; element contents are collapsed to one field."""
+
+    element: Type
+
+    def is_reference(self) -> bool:
+        return True
+
+    def __str__(self) -> str:
+        return f"{self.element}[]"
+
+
+INT = PrimitiveType("int")
+BOOLEAN = PrimitiveType("boolean")
+VOID = PrimitiveType("void")
+OBJECT = ClassType("Object")
+STRING = ClassType("String")
+NULL = ClassType("<null>")
+
+_PRIMITIVES = {"int": INT, "boolean": BOOLEAN, "void": VOID}
+
+
+def parse_type(text: str) -> Type:
+    """Parse a type from surface syntax, e.g. ``String``, ``Object[]``."""
+    text = text.strip()
+    if text.endswith("[]"):
+        return ArrayType(parse_type(text[:-2]))
+    if text in _PRIMITIVES:
+        return _PRIMITIVES[text]
+    return ClassType(text)
+
+
+def erasure(t: Type) -> str:
+    """Return the class name used for dispatch and hierarchy queries."""
+    if isinstance(t, ArrayType):
+        return "Object"
+    if isinstance(t, ClassType):
+        return t.name
+    return str(t)

@@ -1,0 +1,17 @@
+"""jlang: the Java-like surface language the benchmarks are written in.
+
+jlang stands in for Java bytecode in this reproduction; see DESIGN.md for
+the substitution rationale.  The public entrypoints are
+:func:`parse` (source → AST), :func:`lower_source` and
+:func:`lower_sources` (source → IR program).
+"""
+
+from .errors import LexError, LowerError, ParseError, SourceError
+from .lexer import Token, tokenize
+from .lower import Lowerer, lower_source, lower_sources
+from .parser import parse
+
+__all__ = [
+    "LexError", "Lowerer", "LowerError", "ParseError", "SourceError",
+    "Token", "lower_source", "lower_sources", "parse", "tokenize",
+]

@@ -1,0 +1,208 @@
+"""AST node definitions for jlang.
+
+The AST is deliberately small; anything surface-level that doesn't affect
+taint-relevant data flow (access modifiers, checked exceptions) is parsed
+and discarded.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+
+@dataclass
+class Node:
+    line: int = field(default=0)
+
+
+# -- expressions -----------------------------------------------------------
+
+@dataclass
+class Expr(Node):
+    pass
+
+
+@dataclass
+class Literal(Expr):
+    value: object = None          # str, int, bool, or None (null)
+
+
+@dataclass
+class NameRef(Expr):
+    name: str = ""
+
+
+@dataclass
+class ThisRef(Expr):
+    pass
+
+
+@dataclass
+class FieldAccess(Expr):
+    target: Optional[Expr] = None   # None only transiently during parsing
+    field_name: str = ""
+
+
+@dataclass
+class IndexAccess(Expr):
+    target: Optional[Expr] = None
+    index: Optional[Expr] = None
+
+
+@dataclass
+class MethodCall(Expr):
+    target: Optional[Expr] = None   # None => implicit this / same-class static
+    method_name: str = ""
+    args: List[Expr] = field(default_factory=list)
+
+
+@dataclass
+class NewObject(Expr):
+    class_name: str = ""
+    args: List[Expr] = field(default_factory=list)
+
+
+@dataclass
+class NewArrayExpr(Expr):
+    element_type: str = ""
+    length: Optional[Expr] = None
+    initializer: Optional[List[Expr]] = None
+
+
+@dataclass
+class Binary(Expr):
+    op: str = ""
+    left: Optional[Expr] = None
+    right: Optional[Expr] = None
+
+
+@dataclass
+class Unary(Expr):
+    op: str = ""
+    operand: Optional[Expr] = None
+
+
+@dataclass
+class Cast(Expr):
+    type_name: str = ""
+    operand: Optional[Expr] = None
+
+
+# -- statements -------------------------------------------------------------
+
+@dataclass
+class Stmt(Node):
+    pass
+
+
+@dataclass
+class VarDecl(Stmt):
+    type_name: str = ""
+    name: str = ""
+    init: Optional[Expr] = None
+
+
+@dataclass
+class Assign(Stmt):
+    target: Optional[Expr] = None   # NameRef, FieldAccess, or IndexAccess
+    value: Optional[Expr] = None
+
+
+@dataclass
+class ExprStmt(Stmt):
+    expr: Optional[Expr] = None
+
+
+@dataclass
+class If(Stmt):
+    cond: Optional[Expr] = None
+    then_body: List[Stmt] = field(default_factory=list)
+    else_body: List[Stmt] = field(default_factory=list)
+
+
+@dataclass
+class While(Stmt):
+    cond: Optional[Expr] = None
+    body: List[Stmt] = field(default_factory=list)
+
+
+@dataclass
+class Return(Stmt):
+    value: Optional[Expr] = None
+
+
+@dataclass
+class Throw(Stmt):
+    value: Optional[Expr] = None
+
+
+@dataclass
+class Break(Stmt):
+    pass
+
+
+@dataclass
+class Continue(Stmt):
+    pass
+
+
+@dataclass
+class CatchClause(Node):
+    exc_type: str = "Exception"
+    var_name: str = "e"
+    body: List[Stmt] = field(default_factory=list)
+
+
+@dataclass
+class Try(Stmt):
+    body: List[Stmt] = field(default_factory=list)
+    catches: List[CatchClause] = field(default_factory=list)
+    finally_body: List[Stmt] = field(default_factory=list)
+
+
+@dataclass
+class Block(Stmt):
+    body: List[Stmt] = field(default_factory=list)
+
+
+# -- declarations -------------------------------------------------------------
+
+@dataclass
+class FieldDeclNode(Node):
+    type_name: str = ""
+    name: str = ""
+    is_static: bool = False
+
+
+@dataclass
+class ParamNode(Node):
+    type_name: str = ""
+    name: str = ""
+
+
+@dataclass
+class MethodDeclNode(Node):
+    name: str = ""
+    params: List[ParamNode] = field(default_factory=list)
+    return_type: str = "void"
+    body: Optional[List[Stmt]] = None   # None => native / abstract
+    is_static: bool = False
+    is_native: bool = False
+    is_constructor: bool = False
+
+
+@dataclass
+class ClassDeclNode(Node):
+    name: str = ""
+    super_name: Optional[str] = None
+    interfaces: List[str] = field(default_factory=list)
+    is_interface: bool = False
+    is_library: bool = False
+    fields: List[FieldDeclNode] = field(default_factory=list)
+    methods: List[MethodDeclNode] = field(default_factory=list)
+
+
+@dataclass
+class CompilationUnit(Node):
+    classes: List[ClassDeclNode] = field(default_factory=list)

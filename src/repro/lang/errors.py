@@ -1,0 +1,26 @@
+"""Diagnostics for the jlang frontend."""
+
+from __future__ import annotations
+
+
+class SourceError(Exception):
+    """A lexing, parsing, or lowering error with source position."""
+
+    def __init__(self, message: str, line: int = 0, col: int = 0) -> None:
+        self.message = message
+        self.line = line
+        self.col = col
+        where = f" at {line}:{col}" if line else ""
+        super().__init__(f"{message}{where}")
+
+
+class LexError(SourceError):
+    """Invalid character or unterminated literal."""
+
+
+class ParseError(SourceError):
+    """Token stream does not match the grammar."""
+
+
+class LowerError(SourceError):
+    """AST is grammatical but cannot be lowered (e.g. unknown name)."""

@@ -1,0 +1,20 @@
+"""Code-modeling techniques (paper §4): the synthetic models that make
+analysis of web applications tractable and precise."""
+
+from .collections_model import DictionaryModel
+from .ejb import EJBModel
+from .natives import NativeSummaries, default_natives
+from .pipeline import ModelOptions, PreparedProgram, prepare
+from .stdlib import (COLLECTION_CLASSES, DICT_CLASSES, FACTORY_METHODS,
+                     STRING_CARRIERS, WHITELISTED_CLASSES, load_stdlib)
+from .struts import EntrypointSynthesizer, synthesize_entrypoints
+from .whitelist import default_whitelist, validate_whitelist
+
+__all__ = [
+    "COLLECTION_CLASSES", "DICT_CLASSES", "DictionaryModel", "EJBModel",
+    "EntrypointSynthesizer", "FACTORY_METHODS", "ModelOptions",
+    "NativeSummaries", "PreparedProgram", "STRING_CARRIERS",
+    "WHITELISTED_CLASSES", "default_natives", "default_whitelist",
+    "load_stdlib", "prepare", "synthesize_entrypoints",
+    "validate_whitelist",
+]

@@ -1,0 +1,124 @@
+"""The front half of the TAJ pipeline: parse, lower, and apply models.
+
+Order matters and mirrors the design notes in each pass:
+
+1. load the model library, lower application sources, record the
+   deployment descriptor;
+2. synthesize framework entrypoint roots (jlang generation — must happen
+   before IR rewrites so roots flow through them too);
+3. exception-source insertion (pre-SSA);
+4. string-carrier rewrite (pre-SSA: builder mutators reassign locals);
+5. SSA construction + constant propagation;
+6. reflection resolution (needs constants);
+7. constant-key dictionary rewrite (needs constants);
+8. EJB artifact generation (needs constants; new classes are pushed
+   through steps 4–5 themselves);
+9. structural validation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set
+
+from ..ir import Program, validate_program
+from ..lang import Lowerer, parse
+from ..ssa import ConstantValues, SSAInfo, to_ssa
+from . import (collections_model, exceptions_model, reflection, strings,
+               struts)
+from .ejb import EJBModel
+from .stdlib import load_stdlib
+from .whitelist import default_whitelist, validate_whitelist
+
+
+@dataclass
+class ModelOptions:
+    """Which model passes to apply (Table 1: all evaluated configurations
+    use the synthetic models; ablations flip these off)."""
+
+    frameworks: bool = True
+    exceptions: bool = True
+    strings: bool = True
+    reflection: bool = True
+    collections: bool = True
+    ejb: bool = True
+    whitelist: bool = True
+
+    @staticmethod
+    def none() -> "ModelOptions":
+        return ModelOptions(frameworks=True, exceptions=False,
+                            strings=False, reflection=False,
+                            collections=False, ejb=False, whitelist=False)
+
+
+@dataclass
+class PreparedProgram:
+    """A fully modeled, SSA-form program ready for pointer analysis."""
+
+    program: Program
+    ssa: Dict[str, SSAInfo] = field(default_factory=dict)
+    constants: Dict[str, ConstantValues] = field(default_factory=dict)
+    whitelist: Set[str] = field(default_factory=set)
+    stats: Dict[str, int] = field(default_factory=dict)
+
+
+def prepare(app_sources: List[str],
+            deployment_descriptor: Optional[Dict[str, str]] = None,
+            options: Optional[ModelOptions] = None,
+            extra_entrypoints: Optional[List[str]] = None) -> PreparedProgram:
+    """Build a :class:`PreparedProgram` from jlang application sources."""
+    options = options or ModelOptions()
+    program = load_stdlib()
+    if app_sources:
+        lowerer = Lowerer(program)
+        for source in app_sources:
+            lowerer.add_unit(parse(source))
+        lowerer.lower_all()
+    if deployment_descriptor:
+        program.deployment_descriptor.update(deployment_descriptor)
+    for entry in extra_entrypoints or []:
+        if entry not in program.entrypoints:
+            program.entrypoints.append(entry)
+
+    stats: Dict[str, int] = {}
+    if options.frameworks:
+        roots = struts.synthesize_entrypoints(program)
+        stats["entrypoint_roots"] = len(roots)
+    if options.exceptions:
+        stats["exception_sources"] = exceptions_model.rewrite_program(program)
+    if options.strings:
+        stats["string_ops"] = strings.rewrite_program(program)
+
+    ssa_by: Dict[str, SSAInfo] = {}
+    constants: Dict[str, ConstantValues] = {}
+    for method in program.methods():
+        info = to_ssa(method)
+        ssa_by[method.qname] = info
+        if not method.is_native:
+            constants[method.qname] = ConstantValues(method, info)
+
+    if options.reflection:
+        stats["reflective_calls_resolved"] = reflection.rewrite_program(
+            program, ssa_by, constants)
+    if options.collections:
+        stats["dictionary_accesses"] = collections_model.rewrite_program(
+            program, constants)
+    if options.ejb and program.deployment_descriptor:
+        model = EJBModel(program)
+        stats["ejb_calls_resolved"] = model.rewrite_program(constants)
+        for name in model.generated:
+            cls = program.get_class(name)
+            for method in cls.methods.values():
+                if options.strings:
+                    strings.rewrite_method(method)
+                info = to_ssa(method)
+                ssa_by[method.qname] = info
+                if not method.is_native:
+                    constants[method.qname] = ConstantValues(method, info)
+
+    validate_program(program)
+    whitelist = (validate_whitelist(program, default_whitelist())
+                 if options.whitelist else set())
+    return PreparedProgram(program=program, ssa=ssa_by,
+                           constants=constants, whitelist=whitelist,
+                           stats=stats)

@@ -1,0 +1,16 @@
+"""Context-sensitive Andersen pointer analysis and the heap graph."""
+
+from .contexts import CallSiteContext, Context, EMPTY, ObjContext, truncate
+from .heapgraph import HeapGraph
+from .keys import (AllocSite, FieldKey, InstanceKey, LocalKey, PointerKey,
+                   ReturnKey, StaticFieldKey)
+from .policy import ContextPolicy, PolicyConfig
+from .ordering import ChaoticOrder, OrderingPolicy
+from .solver import PointerAnalysis
+
+__all__ = [
+    "AllocSite", "CallSiteContext", "ChaoticOrder", "Context",
+    "ContextPolicy", "EMPTY", "FieldKey", "HeapGraph", "InstanceKey",
+    "LocalKey", "ObjContext", "OrderingPolicy", "PointerAnalysis",
+    "PointerKey", "PolicyConfig", "ReturnKey", "StaticFieldKey", "truncate",
+]

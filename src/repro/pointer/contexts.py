@@ -1,0 +1,80 @@
+"""Calling contexts for the pointer analysis.
+
+TAJ's context-sensitivity policy (paper §3.1) mixes three kinds of
+context:
+
+* the **empty** context (context-insensitive treatment);
+* **object contexts** — the abstraction of the receiver object (one level
+  for most methods, unlimited depth for collection classes);
+* **call-site contexts** — one level of call string for library factory
+  methods and taint-specific APIs.
+
+Contexts nest because instance keys embed their heap context; the
+``truncate`` helper bounds total nesting so unlimited-depth object
+sensitivity terminates even through recursive data structures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+
+@dataclass(frozen=True)
+class Context:
+    """Base class of all contexts."""
+
+    def depth(self) -> int:
+        return 0
+
+    def __str__(self) -> str:
+        return "ε"
+
+
+EMPTY = Context()
+
+
+@dataclass(frozen=True)
+class ObjContext(Context):
+    """Receiver-object sensitivity: context is an instance key."""
+
+    receiver: "object"  # an InstanceKey; typed loosely to avoid a cycle
+
+    def depth(self) -> int:
+        return 1 + self.receiver.context.depth()  # type: ignore[attr-defined]
+
+    def __str__(self) -> str:
+        return f"obj[{self.receiver}]"
+
+
+@dataclass(frozen=True)
+class CallSiteContext(Context):
+    """One level of call-string: the method and call instruction id."""
+
+    caller: str
+    call_iid: int
+
+    def depth(self) -> int:
+        return 1
+
+    def __str__(self) -> str:
+        return f"cs[{self.caller}@{self.call_iid}]"
+
+
+def truncate(context: Context, limit: int) -> Context:
+    """Bound nested context depth; beyond ``limit`` collapse to EMPTY.
+
+    Applied when minting object contexts so unlimited-depth object
+    sensitivity for collections (which would otherwise recurse through
+    e.g. maps of maps) terminates.  The paper bounds this by recursion;
+    a fixed depth cap is the standard finite realization.
+    """
+    if limit <= 0:
+        return EMPTY
+    if context.depth() <= limit:
+        return context
+    if isinstance(context, ObjContext):
+        receiver = context.receiver
+        inner = truncate(receiver.context, limit - 1)  # type: ignore
+        return ObjContext(receiver.with_context(inner))  # type: ignore
+    return EMPTY

@@ -1,0 +1,56 @@
+"""The heap graph view of a pointer-analysis solution (paper §4.1.1).
+
+A bipartite graph over instance keys and pointer keys: ``P -> I`` when P
+may point to I, and ``I -> P`` when P is a field (or the array contents)
+of I.  Taint-carrier detection walks this graph from sink arguments with
+a bounded field-dereference depth (§6.2.3).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Set, Tuple
+
+from .keys import FieldKey, InstanceKey, PointerKey
+from .solver import PointerAnalysis
+
+
+class HeapGraph:
+    """Instance-key adjacency derived from points-to sets."""
+
+    def __init__(self, analysis: PointerAnalysis) -> None:
+        self._fields_of: Dict[InstanceKey, List[FieldKey]] = {}
+        self._pts: Dict[PointerKey, Set[InstanceKey]] = analysis.pts
+        for key in analysis.pts:
+            if isinstance(key, FieldKey):
+                self._fields_of.setdefault(key.instance, []).append(key)
+
+    def field_keys(self, instance: InstanceKey) -> List[FieldKey]:
+        return self._fields_of.get(instance, [])
+
+    def successors(self, instance: InstanceKey) -> Set[InstanceKey]:
+        """Objects reachable through exactly one field dereference."""
+        out: Set[InstanceKey] = set()
+        for fkey in self.field_keys(instance):
+            out |= self._pts.get(fkey, set())
+        return out
+
+    def reachable(self, roots: Iterable[InstanceKey],
+                  max_depth: int = None) -> Set[InstanceKey]:
+        """Objects reachable from ``roots`` (roots included).
+
+        ``max_depth`` bounds the number of field dereferences, per the
+        nested-taint bound of §6.2.3; ``None`` means unbounded.
+        """
+        seen: Dict[InstanceKey, int] = {}
+        frontier: List[Tuple[InstanceKey, int]] = [(r, 0) for r in roots]
+        for root, depth in frontier:
+            seen[root] = depth
+        while frontier:
+            node, depth = frontier.pop()
+            if max_depth is not None and depth >= max_depth:
+                continue
+            for succ in self.successors(node):
+                if succ not in seen or seen[succ] > depth + 1:
+                    seen[succ] = depth + 1
+                    frontier.append((succ, depth + 1))
+        return set(seen)

@@ -1,0 +1,96 @@
+"""Instance keys and pointer keys (the heap-graph vocabulary of §4.1.1).
+
+An *instance key* abstracts a set of runtime objects: an allocation site
+plus a heap context.  A *pointer key* abstracts a set of runtime pointers:
+a context-qualified local, a field of an instance key, a static field, or
+a method return value.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Tuple
+
+from .contexts import Context, EMPTY
+
+
+@dataclass(frozen=True)
+class AllocSite:
+    """A static allocation site: ``new C`` / array / caught exception."""
+
+    method: str        # qname of the containing method
+    iid: int           # instruction id within the method
+    class_name: str    # allocated class (arrays: "<elem>[]")
+
+    def __str__(self) -> str:
+        return f"{self.class_name}@{self.method}:{self.iid}"
+
+
+@dataclass(frozen=True)
+class InstanceKey:
+    """An abstract object: allocation site + heap context."""
+
+    site: AllocSite
+    context: Context = EMPTY
+
+    @property
+    def class_name(self) -> str:
+        return self.site.class_name
+
+    def with_context(self, context: Context) -> "InstanceKey":
+        return replace(self, context=context)
+
+    def __str__(self) -> str:
+        if self.context is EMPTY:
+            return str(self.site)
+        return f"{self.site}<{self.context}>"
+
+
+@dataclass(frozen=True)
+class PointerKey:
+    """Base class for pointer keys."""
+
+
+@dataclass(frozen=True)
+class LocalKey(PointerKey):
+    """An SSA local of a method analyzed in a context."""
+
+    method: str
+    context: Context
+    var: str
+
+    def __str__(self) -> str:
+        return f"{self.method}<{self.context}>::{self.var}"
+
+
+@dataclass(frozen=True)
+class FieldKey(PointerKey):
+    """A field of an instance key (array contents use ``@elems``)."""
+
+    instance: InstanceKey
+    fld: str
+
+    def __str__(self) -> str:
+        return f"{self.instance}.{self.fld}"
+
+
+@dataclass(frozen=True)
+class StaticFieldKey(PointerKey):
+    """A static field."""
+
+    class_name: str
+    fld: str
+
+    def __str__(self) -> str:
+        return f"{self.class_name}.{self.fld}"
+
+
+@dataclass(frozen=True)
+class ReturnKey(PointerKey):
+    """The return value of a method analyzed in a context."""
+
+    method: str
+    context: Context
+
+    def __str__(self) -> str:
+        return f"ret({self.method}<{self.context}>)"

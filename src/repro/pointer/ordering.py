@@ -1,0 +1,53 @@
+"""Constraint-adding ordering policies (interface + chaotic baseline).
+
+Kept in a leaf module so both the pointer solver and the priority-driven
+scheme in :mod:`repro.callgraph.priority` can import it without cycles.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Optional, TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..callgraph.graph import CGNode
+    from .solver import PointerAnalysis
+
+
+class OrderingPolicy:
+    """Decides the order in which pending call-graph nodes get their
+    pointer-analysis constraints added (paper §6.1)."""
+
+    solver: "PointerAnalysis"
+
+    def attach(self, solver: "PointerAnalysis") -> None:
+        self.solver = solver
+
+    def on_node_created(self, node: "CGNode") -> None:
+        raise NotImplementedError
+
+    def on_edge(self, caller: "CGNode", callee: "CGNode") -> None:
+        """Called for every new call-graph edge; priority schemes use it
+        to propagate locality along the growing graph."""
+
+    def pop(self) -> Optional["CGNode"]:
+        raise NotImplementedError
+
+    def __bool__(self) -> bool:
+        raise NotImplementedError
+
+
+class ChaoticOrder(OrderingPolicy):
+    """Plain FIFO constraint adding (the paper's chaotic iteration)."""
+
+    def __init__(self) -> None:
+        self._queue: Deque["CGNode"] = deque()
+
+    def on_node_created(self, node: "CGNode") -> None:
+        self._queue.append(node)
+
+    def pop(self) -> Optional["CGNode"]:
+        return self._queue.popleft() if self._queue else None
+
+    def __bool__(self) -> bool:
+        return bool(self._queue)

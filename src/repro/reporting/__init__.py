@@ -1,0 +1,12 @@
+"""Report generation: LCP-based grouping (§5) and rendering."""
+
+from .lcp import FlowGroup, GroupKey, group_flows, remediation_of
+from .render import render_text
+from .sarif import render_sarif, to_sarif
+from .report import Issue, Report, build_report
+
+__all__ = [
+    "FlowGroup", "GroupKey", "Issue", "Report", "build_report",
+    "group_flows", "remediation_of", "render_sarif", "render_text",
+    "to_sarif",
+]

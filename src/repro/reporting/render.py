@@ -1,0 +1,40 @@
+"""Plain-text rendering of reports (the "consumable report" of §1)."""
+
+from __future__ import annotations
+
+from typing import List
+
+from .report import Issue, Report
+
+
+def _fmt_issue(issue: Issue) -> List[str]:
+    kind = " (via taint carrier)" if issue.via_carrier else ""
+    lines = [
+        f"[{issue.rule}] tainted flow into {issue.sink_method}{kind}",
+        f"    source : {issue.source}"
+        + (f" (line {issue.source_line})" if issue.source_line else ""),
+        f"    sink   : {issue.sink}"
+        + (f" (line {issue.sink_line})" if issue.sink_line else ""),
+        f"    fix at : {issue.lcp}  —  {issue.remediation}",
+    ]
+    if issue.grouped_flows > 1:
+        lines.append(f"    covers : {issue.grouped_flows} flows with the "
+                     f"same remediation point")
+    return lines
+
+
+def render_text(report: Report, title: str = "TAJ report") -> str:
+    out: List[str] = [title, "=" * len(title)]
+    if not report.issues:
+        out.append("No tainted flows detected.")
+        return "\n".join(out)
+    by_rule = report.by_rule()
+    out.append(f"{report.count()} issue(s) "
+               f"({report.raw_flow_count} raw flows before grouping)")
+    for rule in sorted(by_rule):
+        out.append("")
+        out.append(f"-- {rule}: {len(by_rule[rule])} issue(s) --")
+        for issue in by_rule[rule]:
+            out.append("")
+            out.extend(_fmt_issue(issue))
+    return "\n".join(out)

@@ -1,0 +1,103 @@
+"""SARIF 2.1.0 export — the interchange format downstream security
+tooling (code scanners, IDE plugins, GitHub code scanning) consumes.
+
+The mapping is straightforward: each security rule becomes a SARIF
+reporting rule; each grouped issue becomes a result whose location is
+the sink statement, with the source and the LCP (the remediation point,
+paper §5) attached as related locations.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Optional
+
+from ..taint.rules import RuleSet
+from .report import Issue, Report
+
+SARIF_VERSION = "2.1.0"
+_SCHEMA = ("https://raw.githubusercontent.com/oasis-tcs/sarif-spec/"
+           "master/Schemata/sarif-schema-2.1.0.json")
+
+
+def _location(label: str, where: str, line: int) -> Dict:
+    method = where.split("@")[0]
+    loc: Dict = {
+        "message": {"text": f"{label} in {method}"},
+        "physicalLocation": {
+            "artifactLocation": {"uri": "jlang-sources"},
+        },
+        "logicalLocations": [{
+            "fullyQualifiedName": where,
+            "kind": "function",
+        }],
+    }
+    if line:
+        loc["physicalLocation"]["region"] = {"startLine": line}
+    return loc
+
+
+def _result(issue: Issue) -> Dict:
+    kind = " via taint carrier" if issue.via_carrier else ""
+    message = (f"Tainted data reaches {issue.sink_method}{kind}; "
+               f"remediation: {issue.remediation} at {issue.lcp}.")
+    return {
+        "ruleId": issue.rule,
+        "level": "error",
+        "message": {"text": message},
+        "locations": [_location("sink", issue.sink, issue.sink_line)],
+        "relatedLocations": [
+            _location("source", issue.source, issue.source_line),
+            _location("remediation point (LCP)", issue.lcp, 0),
+        ],
+        "properties": {
+            "flowLength": issue.flow_length,
+            "groupedFlows": issue.grouped_flows,
+            "viaCarrier": issue.via_carrier,
+        },
+    }
+
+
+def to_sarif(report: Report, rules: Optional[RuleSet] = None,
+             tool_version: str = "1.0.0") -> Dict:
+    """Convert a report to a SARIF log dictionary."""
+    rule_descriptors: List[Dict] = []
+    seen = set()
+    candidates = list(rules) if rules is not None else []
+    reported = {issue.rule for issue in report.issues}
+    for rule in candidates:
+        if rule.name in seen:
+            continue
+        seen.add(rule.name)
+        rule_descriptors.append({
+            "id": rule.name,
+            "shortDescription": {"text": f"Tainted flow ({rule.name})"},
+            "help": {"text": f"Remediation: {rule.remediation}"},
+        })
+    for name in sorted(reported - seen):
+        rule_descriptors.append({
+            "id": name,
+            "shortDescription": {"text": f"Tainted flow ({name})"},
+        })
+    return {
+        "$schema": _SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [{
+            "tool": {
+                "driver": {
+                    "name": "repro-taj",
+                    "informationUri":
+                        "https://doi.org/10.1145/1542476.1542486",
+                    "version": tool_version,
+                    "rules": rule_descriptors,
+                },
+            },
+            "results": [_result(issue) for issue in report.issues],
+        }],
+    }
+
+
+def render_sarif(report: Report, rules: Optional[RuleSet] = None,
+                 indent: int = 2) -> str:
+    """The SARIF log as a JSON string."""
+    return json.dumps(to_sarif(report, rules), indent=indent)

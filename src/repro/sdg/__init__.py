@@ -1,0 +1,14 @@
+"""Dependence graphs: the no-heap SDG, RHS tabulation, and HSDG edges."""
+
+from .hsdg import DirectEdges
+from .nodes import Fact, RET, Stmt, StmtRef
+from .noheap import (ANY_FIELD, CallSite, LoadSite, LocalEdge, NoHeapSDG,
+                     StoreSite)
+from .tabulation import Hit, Incoming, Meta, RegionKey, RuleAdapter, \
+    Tabulator
+
+__all__ = [
+    "ANY_FIELD", "CallSite", "DirectEdges", "Fact", "Hit", "Incoming",
+    "LoadSite", "LocalEdge", "Meta", "NoHeapSDG", "RegionKey", "RET",
+    "RuleAdapter", "Stmt", "StmtRef", "StoreSite", "Tabulator",
+]

@@ -1,0 +1,87 @@
+"""Direct (store→load) HSDG edges (paper §3.2).
+
+"A direct edge connects a store to a load and represents a data
+dependence computed by a preliminary pointer analysis" — i.e. the store
+and load access the same field and their base pointers may alias.  These
+edges realize the flow-insensitive heap half of hybrid thin slicing; the
+flow- and context-sensitive local half is the tabulation engine.
+
+Static fields need no aliasing: store and load match on field identity.
+The ``@any`` field marker (by-reference sources, paper footnote 2)
+matches loads of every field on an aliased base.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, List, Optional, Set, Tuple
+
+from ..pointer.keys import InstanceKey
+from ..pointer.solver import PointerAnalysis
+from .nodes import StmtRef
+from .noheap import ANY_FIELD, LoadSite, NoHeapSDG, StoreSite
+
+
+class DirectEdges:
+    """Demand store→load matching over a pointer-analysis solution."""
+
+    def __init__(self, sdg: NoHeapSDG, analysis: PointerAnalysis) -> None:
+        self.sdg = sdg
+        self.analysis = analysis
+        self._pts_cache: Dict[Tuple[str, str], FrozenSet[InstanceKey]] = {}
+
+    def points_to(self, method: str, var: str) -> FrozenSet[InstanceKey]:
+        """Context-collapsed points-to set of a local (cached)."""
+        key = (method, var)
+        cached = self._pts_cache.get(key)
+        if cached is None:
+            cached = frozenset(self.analysis.points_to_var(method, var))
+            self._pts_cache[key] = cached
+        return cached
+
+    def loads_for_store(self, store: StoreSite,
+                        eff_base: Optional[Tuple[str, str]] = None
+                        ) -> List[LoadSite]:
+        """All load statements the store may flow to.
+
+        ``eff_base`` — an optional (method, var) whose points-to set
+        replaces the store base's own: the clone-precise base resolved by
+        hit replay (see :mod:`repro.sdg.tabulation`).
+        """
+        if store.base is None:
+            # Static field: match by field identity.
+            return list(self.sdg.loads_of_field(store.fld))
+        if eff_base is not None:
+            base_pts = self.points_to(*eff_base)
+        else:
+            base_pts = self.points_to(store.stmt.method, store.base)
+        if not base_pts:
+            return []
+        out: List[LoadSite] = []
+        for load in self.sdg.loads_of_field(store.fld):
+            if load.base is None:
+                continue
+            load_pts = self.points_to(load.stmt.method, load.base)
+            if base_pts & load_pts:
+                out.append(load)
+        return out
+
+    def loads_for_tainted_object(self, method: str,
+                                 var: str) -> List[LoadSite]:
+        """Loads of *any* field of objects aliased with ``var`` — used
+        for by-reference sources that taint an object's whole state."""
+        base_pts = self.points_to(method, var)
+        if not base_pts:
+            return []
+        out: List[LoadSite] = []
+        for load in self.sdg.loads_of_field(ANY_FIELD):
+            if load.base is None:
+                continue
+            if base_pts & self.points_to(load.stmt.method, load.base):
+                out.append(load)
+        return out
+
+    def all_store_sites(self) -> List[StoreSite]:
+        out: List[StoreSite] = []
+        for sites in self.sdg.stores_by_field.values():
+            out.extend(sites)
+        return out

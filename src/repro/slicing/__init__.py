@@ -1,0 +1,11 @@
+"""Thin-slicing strategies: hybrid (the contribution), CS and CI baselines."""
+
+from .base import FlowCollector, Slicer, SourceSeed, enumerate_sources
+from .ci import CISlicer
+from .cs import CSExtendedSDG, CSSlicer
+from .hybrid import HybridSlicer
+
+__all__ = [
+    "CISlicer", "CSExtendedSDG", "CSSlicer", "FlowCollector",
+    "HybridSlicer", "Slicer", "SourceSeed", "enumerate_sources",
+]

@@ -1,0 +1,165 @@
+"""Sparse constant propagation over SSA form.
+
+Computes, for every SSA variable, whether it holds a single compile-time
+constant.  Two TAJ model passes consume this: reflection resolution
+(``Class.forName``/``Method.invoke`` with constant operands, paper §4.2.3)
+and constant-key dictionary access (paper §4.2.1).
+
+The lattice per variable is TOP (no information yet) / a constant /
+BOTTOM (more than one value).  String concatenation folds, matching the
+paper's observation that hash keys are usually resolvable constants.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from ..ir import Assign, BinOp, Cast, Const, Method, Phi, StringOp, UnOp, Var
+from .construct import SSAInfo
+
+
+class _Top:
+    def __repr__(self) -> str:
+        return "TOP"
+
+
+class _Bottom:
+    def __repr__(self) -> str:
+        return "BOTTOM"
+
+
+TOP = _Top()
+BOTTOM = _Bottom()
+
+# StringOps whose result is a constant when all inputs are constants.
+_FOLDABLE_STRING_OPS = {
+    "concat": lambda args: "".join(args),
+    "toString": lambda args: args[0],
+    "valueOf": lambda args: args[0],
+    "trim": lambda args: args[0].strip(),
+    "intern": lambda args: args[0],
+}
+
+
+def _eval_binop(op: str, left: object, right: object) -> object:
+    try:
+        if op == "+":
+            if isinstance(left, str) or isinstance(right, str):
+                return f"{left}{right}"
+            return left + right  # type: ignore[operator]
+        if op == "-":
+            return left - right  # type: ignore[operator]
+        if op == "*":
+            return left * right  # type: ignore[operator]
+        if op == "/":
+            return left // right  # type: ignore[operator]
+        if op == "%":
+            return left % right  # type: ignore[operator]
+        if op == "==":
+            return left == right
+        if op == "!=":
+            return left != right
+        if op == "<":
+            return left < right  # type: ignore[operator]
+        if op == ">":
+            return left > right  # type: ignore[operator]
+        if op == "<=":
+            return left <= right  # type: ignore[operator]
+        if op == ">=":
+            return left >= right  # type: ignore[operator]
+    except (TypeError, ZeroDivisionError):
+        return BOTTOM
+    return BOTTOM
+
+
+class ConstantValues:
+    """Constant lattice values for every SSA variable of one method."""
+
+    def __init__(self, method: Method, ssa: SSAInfo) -> None:
+        self.method = method
+        self.ssa = ssa
+        self.values: Dict[Var, object] = {}
+        self._solve()
+
+    def _transfer(self, var: Var) -> object:
+        instr = self.ssa.def_site.get(var)
+        if instr is None:
+            return BOTTOM  # parameter / undef: unknown
+        if isinstance(instr, Const):
+            return instr.value
+        if isinstance(instr, Assign):
+            return self.values.get(instr.rhs, BOTTOM)
+        if isinstance(instr, Cast):
+            return self.values.get(instr.value, BOTTOM)
+        if isinstance(instr, UnOp):
+            val = self.values.get(instr.operand, BOTTOM)
+            if val is BOTTOM or val is TOP:
+                return val
+            if instr.op == "!":
+                return not val
+            if instr.op == "-" and isinstance(val, int):
+                return -val
+            return BOTTOM
+        if isinstance(instr, BinOp):
+            left = self.values.get(instr.left, BOTTOM)
+            right = self.values.get(instr.right, BOTTOM)
+            if left is TOP or right is TOP:
+                return TOP
+            if left is BOTTOM or right is BOTTOM:
+                return BOTTOM
+            return _eval_binop(instr.op, left, right)
+        if isinstance(instr, Phi):
+            result: object = TOP
+            for operand in instr.operands.values():
+                val = self.values.get(operand, BOTTOM)
+                if val is TOP:
+                    continue
+                if result is TOP:
+                    result = val
+                elif val is BOTTOM or val != result or \
+                        type(val) is not type(result):
+                    return BOTTOM
+            return result
+        if isinstance(instr, StringOp):
+            op = instr.method.rsplit(".", 1)[-1]
+            fold = _FOLDABLE_STRING_OPS.get(op)
+            if fold is None:
+                return BOTTOM
+            args = [self.values.get(a, BOTTOM) for a in instr.args]
+            if any(a is TOP for a in args):
+                return TOP
+            if any(a is BOTTOM or not isinstance(a, str) for a in args):
+                return BOTTOM
+            return fold([str(a) for a in args])
+        return BOTTOM
+
+    def _solve(self) -> None:
+        for var in self.ssa.def_site:
+            self.values[var] = TOP
+        changed = True
+        # SSA has one def per var; a few rounds reach the fixed point.
+        while changed:
+            changed = False
+            for var in self.ssa.def_site:
+                new = self._transfer(var)
+                old = self.values[var]
+                if new is not old and new != old:
+                    # Monotone descent TOP -> const -> BOTTOM only.
+                    if old is TOP or new is BOTTOM:
+                        self.values[var] = new
+                        changed = True
+        # Anything still TOP is unreachable/undefined; treat as unknown.
+        for var, val in self.values.items():
+            if val is TOP:
+                self.values[var] = BOTTOM
+
+    def constant_of(self, var: Var) -> Optional[object]:
+        """The constant value of ``var``, or None if not constant."""
+        val = self.values.get(var, BOTTOM)
+        if val is BOTTOM or val is TOP:
+            return None
+        return val
+
+    def string_constant_of(self, var: Var) -> Optional[str]:
+        val = self.constant_of(var)
+        return val if isinstance(val, str) else None

@@ -1,0 +1,103 @@
+"""Dominator trees and dominance frontiers.
+
+Implements the iterative algorithm of Cooper, Harvey & Kennedy ("A Simple,
+Fast Dominance Algorithm") over reverse postorder, and Cytron et al.'s
+dominance-frontier computation.  Both feed SSA construction.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set
+
+from ..ir import Method
+from .cfg import reverse_postorder
+
+
+class DominatorTree:
+    """Immediate dominators and dominance frontiers for one method."""
+
+    def __init__(self, method: Method) -> None:
+        self.method = method
+        self.rpo = reverse_postorder(method)
+        self._rpo_index = {bid: i for i, bid in enumerate(self.rpo)}
+        self.idom: Dict[int, Optional[int]] = {}
+        self.frontier: Dict[int, Set[int]] = {}
+        self.children: Dict[int, List[int]] = {}
+        self._compute_idoms()
+        self._compute_frontiers()
+
+    def _intersect(self, b1: int, b2: int) -> int:
+        idx = self._rpo_index
+        while b1 != b2:
+            while idx[b1] > idx[b2]:
+                b1 = self.idom[b1]  # type: ignore[assignment]
+            while idx[b2] > idx[b1]:
+                b2 = self.idom[b2]  # type: ignore[assignment]
+        return b1
+
+    def _compute_idoms(self) -> None:
+        entry = self.method.entry_block
+        self.idom = {bid: None for bid in self.rpo}
+        self.idom[entry] = entry
+        changed = True
+        while changed:
+            changed = False
+            for bid in self.rpo:
+                if bid == entry:
+                    continue
+                preds = [p for p in self.method.blocks[bid].preds
+                         if self.idom.get(p) is not None]
+                if not preds:
+                    continue
+                new_idom = preds[0]
+                for pred in preds[1:]:
+                    new_idom = self._intersect(pred, new_idom)
+                if self.idom[bid] != new_idom:
+                    self.idom[bid] = new_idom
+                    changed = True
+        self.children = {bid: [] for bid in self.rpo}
+        for bid in self.rpo:
+            if bid != entry and self.idom[bid] is not None:
+                self.children[self.idom[bid]].append(bid)  # type: ignore
+
+    def _compute_frontiers(self) -> None:
+        self.frontier = {bid: set() for bid in self.rpo}
+        for bid in self.rpo:
+            preds = self.method.blocks[bid].preds
+            if len(preds) < 2:
+                continue
+            for pred in preds:
+                if pred not in self._rpo_index:
+                    continue
+                runner = pred
+                while runner != self.idom[bid]:
+                    self.frontier[runner].add(bid)
+                    nxt = self.idom[runner]
+                    if nxt is None or nxt == runner and runner != \
+                            self.method.entry_block:
+                        break
+                    if nxt == runner:
+                        break
+                    runner = nxt
+
+    def dominates(self, a: int, b: int) -> bool:
+        """True if block ``a`` dominates block ``b``."""
+        entry = self.method.entry_block
+        cur: Optional[int] = b
+        while cur is not None:
+            if cur == a:
+                return True
+            if cur == entry:
+                return False
+            cur = self.idom[cur]
+        return False
+
+    def dom_tree_preorder(self) -> List[int]:
+        """Dominator-tree preorder starting at the entry block."""
+        order: List[int] = []
+        stack = [self.method.entry_block]
+        while stack:
+            bid = stack.pop()
+            order.append(bid)
+            stack.extend(reversed(self.children.get(bid, [])))
+        return order

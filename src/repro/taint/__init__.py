@@ -1,0 +1,13 @@
+"""Security rules, the taint engine, flows, and carrier detection."""
+
+from .carriers import CarrierIndex
+from .engine import TaintEngine, TaintResult, make_slicer
+from .flows import TaintFlow
+from .rules import (MethodSpec, RuleSet, SecurityRule, default_rules,
+                    extended_rules)
+
+__all__ = [
+    "CarrierIndex", "MethodSpec", "RuleSet", "SecurityRule", "TaintEngine",
+    "TaintFlow", "TaintResult", "default_rules", "extended_rules",
+    "make_slicer",
+]

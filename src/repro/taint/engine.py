@@ -1,0 +1,85 @@
+"""The taint engine: runs every security rule through a slicing strategy."""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..bounds import Budget, BudgetExhausted, StateMeter
+from ..pointer.heapgraph import HeapGraph
+from ..sdg.hsdg import DirectEdges
+from ..sdg.noheap import NoHeapSDG
+from ..slicing import CISlicer, CSSlicer, HybridSlicer, Slicer
+from .flows import TaintFlow
+from .rules import RuleSet
+
+
+@dataclass
+class TaintResult:
+    """Flows found by one engine run (all rules)."""
+
+    flows: List[TaintFlow] = field(default_factory=list)
+    failed: bool = False              # hard budget failure (CS "OOM")
+    failure: Optional[str] = None
+    truncated: bool = False           # a soft bound trimmed the slice
+    suppressed_by_length: int = 0
+    state_units: int = 0              # abstract memory consumed (CS)
+    seconds: float = 0.0
+
+    def by_rule(self) -> Dict[str, List[TaintFlow]]:
+        out: Dict[str, List[TaintFlow]] = {}
+        for flow in self.flows:
+            out.setdefault(flow.rule, []).append(flow)
+        return out
+
+
+def make_slicer(strategy: str, sdg: NoHeapSDG, direct: DirectEdges,
+                heap_graph: HeapGraph, budget: Budget,
+                meter: Optional[StateMeter] = None) -> Slicer:
+    if strategy == "hybrid":
+        return HybridSlicer(sdg, direct, heap_graph, budget, meter=meter)
+    if strategy == "cs":
+        return CSSlicer(sdg, direct, heap_graph, budget, meter=meter)
+    if strategy == "ci":
+        return CISlicer(sdg, direct, heap_graph, budget)
+    raise ValueError(f"unknown slicing strategy {strategy!r}")
+
+
+class TaintEngine:
+    """Applies a rule set with one slicing strategy over one SDG."""
+
+    def __init__(self, sdg: NoHeapSDG, direct: DirectEdges,
+                 heap_graph: HeapGraph, rules: RuleSet, budget: Budget,
+                 strategy: str = "hybrid") -> None:
+        self.sdg = sdg
+        self.direct = direct
+        self.heap_graph = heap_graph
+        self.rules = rules
+        self.budget = budget
+        self.strategy = strategy
+
+    def run(self) -> TaintResult:
+        started = time.perf_counter()
+        result = TaintResult()
+        meter = StateMeter(self.budget.max_state_units)
+        slicer = make_slicer(self.strategy, self.sdg, self.direct,
+                             self.heap_graph, self.budget, meter)
+        try:
+            modref = getattr(self.sdg, "modref", None)
+            if self.strategy == "cs" and modref is not None:
+                # CS thin slicing threads heap dependencies as additional
+                # method parameters; each synthetic parameter costs state
+                # up front — the paper's scalability bottleneck.
+                meter.charge(sum(len(v) for v in modref.values()))
+            for rule in self.rules:
+                flows = slicer.slice_rule(rule)
+                result.flows.extend(flows)
+        except BudgetExhausted as exc:
+            result.failed = True
+            result.failure = str(exc)
+            result.flows = []
+        result.state_units = meter.used
+        result.truncated = slicer.truncated
+        result.seconds = time.perf_counter() - started
+        return result

@@ -1,0 +1,40 @@
+"""Tainted-flow records produced by the engine."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..sdg.nodes import StmtRef
+
+
+@dataclass(frozen=True)
+class TaintFlow:
+    """One source→sink flow with no sanitizer on the path.
+
+    ``lcp`` is the library call point (paper §5): the last statement on
+    the flow where data crosses from application code into library code.
+    ``length`` is the traversed-edge count (the §6.2.2 flow-length
+    metric).  ``via_carrier`` marks flows completed by taint-carrier
+    detection (§4.1.1) rather than by direct value flow into the sink.
+    """
+
+    rule: str
+    source: StmtRef
+    sink: StmtRef
+    sink_display: str
+    lcp: StmtRef
+    length: int
+    via_carrier: bool = False
+    heap_transitions: int = 0
+
+    def key(self):
+        """Identity for deduplication: one report per source/sink pair
+        per rule."""
+        return (self.rule, self.source, self.sink)
+
+    def describe(self) -> str:
+        kind = "carrier" if self.via_carrier else "direct"
+        return (f"[{self.rule}] {self.source} -> {self.sink} "
+                f"({self.sink_display}, {kind}, len={self.length}, "
+                f"lcp={self.lcp})")

@@ -1,0 +1,87 @@
+"""Application-generator tests."""
+
+from repro.bench import AppSpec, generate_app
+from repro.ir import validate_program
+from repro.modeling import prepare
+
+
+def small_spec(**kwargs):
+    base = dict(name="t", seed=7, tp_direct=1, tp_string=0, tp_map=0,
+                tp_heap=0, tp_helper=0, tp_carrier=0, tp_sql=0, tp_leak=0,
+                sanitized=0, trap_context=0, trap_factory=0,
+                trap_xentry=0, trap_logger=0, cold_classes=0,
+                lib_classes=0)
+    base.update(kwargs)
+    return AppSpec(**base)
+
+
+def test_generation_is_deterministic():
+    a = generate_app(small_spec(tp_map=2, trap_context=1))
+    b = generate_app(small_spec(tp_map=2, trap_context=1))
+    assert a.sources == b.sources
+    assert a.planted == b.planted
+
+
+def test_different_seeds_differ():
+    a = generate_app(small_spec(tp_map=2, tp_heap=2, seed=1))
+    b = generate_app(small_spec(tp_map=2, tp_heap=2, seed=2))
+    assert a.sources != b.sources
+
+
+def test_generated_source_lowers_and_validates():
+    app = generate_app(AppSpec(name="full", seed=3, tp_reflect=1,
+                               tp_thread=1, tp_deep=1, tp_chain=1,
+                               tp_file=1, uses_struts=True, uses_ejb=True,
+                               trap_xentry_long=1))
+    prepared = prepare(app.sources, app.deployment_descriptor)
+    validate_program(prepared.program)
+
+
+def test_planted_count_matches_spec():
+    spec = AppSpec(name="count", seed=1)
+    app = generate_app(spec)
+    tp = [p for p in app.planted if p.is_true_positive]
+    assert len(tp) == spec.total_tp()
+
+
+def test_each_plant_has_unique_sink_method():
+    app = generate_app(AppSpec(name="uniq", seed=5, tp_direct=3,
+                               tp_map=2, trap_context=2))
+    sinks = [(p.rule, p.sink_method) for p in app.planted]
+    assert len(sinks) == len(set(sinks))
+
+
+def test_kinds_classified():
+    app = generate_app(AppSpec(name="k", seed=2, tp_thread=1, tp_deep=1,
+                               trap_xentry_long=1))
+    kinds = {p.kind for p in app.planted}
+    assert "tp" in kinds
+    assert "tp_thread" in kinds and "tp_deep" in kinds
+    assert "san" in kinds
+    assert "trap_xentry_long" in kinds
+    for p in app.planted:
+        if p.kind in ("san",) or p.kind.startswith("trap"):
+            assert not p.is_true_positive
+        else:
+            assert p.is_true_positive
+
+
+def test_ejb_app_carries_descriptor():
+    app = generate_app(small_spec(uses_ejb=True))
+    assert app.deployment_descriptor
+
+
+def test_sql_and_leak_rules_planted():
+    app = generate_app(small_spec(tp_sql=1, tp_leak=1))
+    rules = {p.rule for p in app.planted}
+    assert {"SQLI", "INFO_LEAK", "XSS"} <= rules
+
+
+def test_cold_code_is_reachable():
+    from repro import TAJ, TAJConfig
+    app = generate_app(small_spec(cold_classes=2, cold_methods=3))
+    result = TAJ(TAJConfig.hybrid_unbounded()).analyze_sources(
+        app.sources, deployment_descriptor=app.deployment_descriptor)
+    # Cold chains are called from servlets, so they appear in the CG.
+    prepared_methods = result.cg_nodes
+    assert prepared_methods > 5

@@ -1,0 +1,64 @@
+"""Call-graph structure tests."""
+
+from repro.callgraph import CallGraph, CGNode
+from repro.pointer import EMPTY, CallSiteContext
+
+
+def node(method, ctx=EMPTY):
+    return CGNode(method, ctx)
+
+
+def test_add_node_idempotent():
+    cg = CallGraph()
+    assert cg.add_node(node("A.m/0"))
+    assert not cg.add_node(node("A.m/0"))
+    assert cg.node_count() == 1
+
+
+def test_nodes_distinguish_contexts():
+    cg = CallGraph()
+    cg.add_node(node("A.m/0"))
+    cg.add_node(node("A.m/0", CallSiteContext("B.n/0", 1)))
+    assert cg.node_count() == 2
+    assert len(cg.nodes_of_method("A.m/0")) == 2
+
+
+def test_edges_and_adjacency():
+    cg = CallGraph()
+    a, b = node("A.m/0"), node("B.n/0")
+    cg.add_node(a)
+    cg.add_node(b)
+    assert cg.add_edge(a, 3, b)
+    assert not cg.add_edge(a, 3, b)
+    assert cg.succs(a) == {b}
+    assert cg.preds(b) == {a}
+    assert cg.neighbors(a) == {b}
+
+
+def test_callees_at_site():
+    cg = CallGraph()
+    a, b, c = node("A.m/0"), node("B.n/0"), node("C.o/0")
+    for n in (a, b, c):
+        cg.add_node(n)
+    cg.add_edge(a, 1, b)
+    cg.add_edge(a, 1, c)
+    cg.add_edge(a, 2, b)
+    assert set(cg.callees_at(a, 1)) == {b, c}
+    assert cg.callees_at(a, 2) == [b]
+    assert cg.callees_at(a, 9) == []
+
+
+def test_reachable_methods():
+    cg = CallGraph()
+    cg.add_node(node("A.m/0"))
+    cg.add_node(node("A.m/0", CallSiteContext("X.x/0", 1)))
+    cg.add_node(node("B.n/0"))
+    assert cg.reachable_methods() == {"A.m/0", "B.n/0"}
+
+
+def test_len_and_iter():
+    cg = CallGraph()
+    cg.add_node(node("A.m/0"))
+    cg.add_node(node("B.n/0"))
+    assert len(cg) == 2
+    assert {n.method for n in cg} == {"A.m/0", "B.n/0"}

@@ -1,0 +1,123 @@
+"""Priority-driven call-graph construction tests (paper §6.1)."""
+
+from repro.bounds import Budget
+from repro.callgraph import (PriorityOrder, method_load_fields,
+                             method_store_fields)
+from repro.ir import validate_program
+from repro.lang import lower_source
+from repro.pointer import ContextPolicy, PointerAnalysis
+from repro.ssa import program_to_ssa
+
+LIB = """
+library class Object { }
+library class Req {
+  native String taintSource();
+}
+library class String { }
+"""
+
+# A program with a taint region (helperA chain) and a cold region
+# (coldA chain); sources live at the top of the taint region.
+PROGRAM = """
+class Taint {
+  static void run(Req r) {
+    String v = r.taintSource();
+    Taint.hop0(v);
+  }
+  static void hop0(String v) { Taint.hop1(v); }
+  static void hop1(String v) { Taint.hop2(v); }
+  static void hop2(String v) { }
+}
+class Cold {
+  static void run() { Cold.hop0(1); }
+  static void hop0(int x) { Cold.hop1(x); }
+  static void hop1(int x) { Cold.hop2(x); }
+  static void hop2(int x) { }
+}
+class Main {
+  static void main() {
+    Cold.run();
+    Req r = new Req();
+    Taint.run(r);
+  }
+}
+"""
+
+
+def run(order=None, budget=None):
+    program = lower_source(LIB + PROGRAM)
+    program.entrypoints.append("Main.main/0")
+    program_to_ssa(program)
+    validate_program(program)
+    analysis = PointerAnalysis(program, ContextPolicy(), order=order,
+                               budget=budget or Budget())
+    analysis.solve()
+    return analysis
+
+
+def test_field_scans():
+    program = lower_source(LIB + """
+class C {
+  Object f;
+  void w(Object v) { this.f = v; }
+  Object r() { return this.f; }
+}""")
+    assert method_store_fields(program.lookup_method("C.w/1")) == {"f"}
+    assert method_load_fields(program.lookup_method("C.r/0")) == {"f"}
+
+
+def test_priority_zero_for_source_methods():
+    order = PriorityOrder({"Req.taintSource"}, max_nodes=100)
+    analysis = run(order=order)
+    source_nodes = [n for n in analysis.call_graph
+                    if n.method == "Taint.run/1"]
+    assert source_nodes
+    assert order.priority[source_nodes[0]] == 0
+
+
+def test_priorities_grow_with_distance_from_taint():
+    order = PriorityOrder({"Req.taintSource"}, max_nodes=100)
+    analysis = run(order=order)
+
+    def prio(method):
+        nodes = analysis.call_graph.nodes_of_method(method)
+        return min(order.priority[n] for n in nodes)
+
+    assert prio("Taint.hop0/1") <= prio("Taint.hop2/1") or \
+        prio("Taint.hop2/1") <= 3
+    # Cold code keeps the default (maximal) priority until neighbours
+    # pull it down; it has no taint neighbours.
+    assert prio("Cold.hop2/1") > prio("Taint.hop0/1")
+
+
+def test_unbounded_run_reaches_everything_in_any_order():
+    chaotic = run()
+    prioritized = run(order=PriorityOrder({"Req.taintSource"}, 100))
+    assert chaotic.call_graph.reachable_methods() == \
+        prioritized.call_graph.reachable_methods()
+
+
+def test_under_budget_priority_prefers_taint_region():
+    budget = Budget(max_cg_nodes=9)
+    prioritized = run(order=PriorityOrder({"Req.taintSource"}, 9),
+                      budget=budget)
+    reached = prioritized.call_graph.reachable_methods()
+    processed = {n.method for n in prioritized._processed_nodes}
+    assert prioritized.truncated
+    # The taint chain is processed in preference to the cold chain.
+    taint_done = sum(1 for m in processed if m.startswith("Taint."))
+    cold_done = sum(1 for m in processed if m.startswith("Cold."))
+    assert taint_done > cold_done
+
+
+def test_budget_truncation_is_flagged():
+    analysis = run(order=PriorityOrder({"Req.taintSource"}, 5),
+                   budget=Budget(max_cg_nodes=5))
+    assert analysis.truncated
+
+
+def test_pop_is_stable_without_priorities():
+    order = PriorityOrder(set(), max_nodes=50)
+    analysis = run(order=order)
+    # With no sources, everything still gets analyzed.
+    assert "Cold.hop2/1" in analysis.call_graph.reachable_methods()

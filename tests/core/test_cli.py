@@ -1,0 +1,123 @@
+"""CLI tests."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+APP = """
+class Hello extends HttpServlet {
+  void doGet(HttpServletRequest req, HttpServletResponse resp) {
+    resp.getWriter().println(req.getParameter("name"));
+  }
+}
+"""
+
+CLEAN = """
+class Clean extends HttpServlet {
+  void doGet(HttpServletRequest req, HttpServletResponse resp) {
+    resp.getWriter().println("static");
+  }
+}
+"""
+
+
+@pytest.fixture
+def app_file(tmp_path):
+    path = tmp_path / "app.jlang"
+    path.write_text(APP)
+    return str(path)
+
+
+def test_reports_issue_and_exits_nonzero(app_file, capsys):
+    code = main([app_file])
+    out = capsys.readouterr().out
+    assert code == 1
+    assert "XSS" in out and "html-encode-output" in out
+
+
+def test_clean_app_exits_zero(tmp_path, capsys):
+    path = tmp_path / "clean.jlang"
+    path.write_text(CLEAN)
+    assert main([str(path)]) == 0
+    assert "No tainted flows" in capsys.readouterr().out
+
+
+def test_json_output(app_file, capsys):
+    code = main(["--json", app_file])
+    payload = json.loads(capsys.readouterr().out)
+    assert code == 1
+    assert payload["config"] == "hybrid-optimized"
+    assert payload["issues"][0]["rule"] == "XSS"
+    assert payload["call_graph_nodes"] > 0
+
+
+def test_config_selection(app_file, capsys):
+    main(["--config", "ci", "--json", app_file])
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["config"] == "ci"
+
+
+def test_budget_overrides(app_file, capsys):
+    code = main(["--config", "unbounded", "--flow-length", "0",
+                 "--json", app_file])
+    payload = json.loads(capsys.readouterr().out)
+    assert code == 0
+    assert payload["issues"] == []
+
+
+def test_extended_rules(tmp_path, capsys):
+    path = tmp_path / "redir.jlang"
+    path.write_text("""
+class R extends HttpServlet {
+  void doGet(HttpServletRequest req, HttpServletResponse resp) {
+    resp.sendRedirect(req.getParameter("next"));
+  }
+}
+""")
+    main(["--rules", "extended", str(path)])
+    assert "OPEN_REDIRECT" in capsys.readouterr().out
+
+
+def test_descriptor_file(tmp_path, capsys):
+    source = tmp_path / "ejb.jlang"
+    source.write_text("""
+class Bean { String echo(String v) { return v; } }
+class S extends HttpServlet {
+  void doGet(HttpServletRequest req, HttpServletResponse resp) {
+    InitialContext ctx = new InitialContext();
+    Object home = PortableRemoteObject.narrow(
+        ctx.lookup("ejb/B"), "BeanHome");
+    Bean bean = (Bean) home.create();
+    resp.getWriter().println(bean.echo(req.getParameter("p")));
+  }
+}
+""")
+    descriptor = tmp_path / "dd.json"
+    descriptor.write_text(json.dumps({"ejb/B": "Bean"}))
+    code = main(["--descriptor", str(descriptor), str(source)])
+    assert code == 1
+    assert "XSS" in capsys.readouterr().out
+
+
+def test_dynamic_flag(app_file, capsys):
+    main(["--dynamic", app_file])
+    out = capsys.readouterr().out
+    assert "dynamic execution" in out
+    assert "src:" in out
+
+
+def test_multiple_files(tmp_path, capsys):
+    a = tmp_path / "a.jlang"
+    a.write_text("class Util { static String id(String v) "
+                 "{ return v; } }")
+    b = tmp_path / "b.jlang"
+    b.write_text("""
+class S extends HttpServlet {
+  void doGet(HttpServletRequest req, HttpServletResponse resp) {
+    resp.getWriter().println(Util.id(req.getParameter("p")));
+  }
+}
+""")
+    assert main([str(a), str(b)]) == 1

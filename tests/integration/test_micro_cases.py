@@ -1,0 +1,71 @@
+"""Every micro case, end to end, with the precise (hybrid) configuration.
+
+Each case isolates one capability from the paper: sources and sinks for
+all four attack vectors, sanitizers, string carriers, constant-key
+dictionaries, taint carriers and their clone precision, heap flow,
+reflection, frameworks, threads, by-reference sources.
+"""
+
+import pytest
+
+from repro import TAJ, TAJConfig
+from repro.bench.micro import MICRO_CASES, MICRO_DESCRIPTORS
+
+
+@pytest.mark.parametrize("name", sorted(MICRO_CASES))
+def test_micro_case_hybrid(name):
+    source, expected = MICRO_CASES[name]
+    descriptor = MICRO_DESCRIPTORS.get(name)
+    result = TAJ(TAJConfig.hybrid_unbounded()).analyze_sources(
+        [source], deployment_descriptor=descriptor)
+    got = {}
+    for issue in result.report.issues:
+        got[issue.rule] = got.get(issue.rule, 0) + 1
+    for rule, count in expected.items():
+        assert got.get(rule, 0) == count, \
+            f"{name}: expected {count} {rule} issue(s), got {got}"
+
+
+@pytest.mark.parametrize("name", sorted(MICRO_CASES))
+def test_micro_case_optimized_preserves_shallow_findings(name):
+    """The fully-optimized configuration keeps every micro finding: the
+    micro cases are all shallow/short flows (the bounds only cut deep or
+    long ones)."""
+    source, expected = MICRO_CASES[name]
+    descriptor = MICRO_DESCRIPTORS.get(name)
+    result = TAJ(TAJConfig.hybrid_optimized()).analyze_sources(
+        [source], deployment_descriptor=descriptor)
+    got = {}
+    for issue in result.report.issues:
+        got[issue.rule] = got.get(issue.rule, 0) + 1
+    for rule, count in expected.items():
+        assert got.get(rule, 0) == count, f"{name}: {got}"
+
+
+def test_ci_is_sound_on_all_positive_micro_cases():
+    """CI may add false positives but must find every real flow."""
+    for name, (source, expected) in sorted(MICRO_CASES.items()):
+        descriptor = MICRO_DESCRIPTORS.get(name)
+        result = TAJ(TAJConfig.ci()).analyze_sources(
+            [source], deployment_descriptor=descriptor)
+        got = {}
+        for issue in result.report.issues:
+            got[issue.rule] = got.get(issue.rule, 0) + 1
+        for rule, count in expected.items():
+            assert got.get(rule, 0) >= count, f"{name}: {got}"
+
+
+def test_cs_misses_only_thread_flows():
+    """CS is precise but unsound exactly for the cross-thread case."""
+    for name, (source, expected) in sorted(MICRO_CASES.items()):
+        descriptor = MICRO_DESCRIPTORS.get(name)
+        result = TAJ(TAJConfig.cs(max_state_units=None)).analyze_sources(
+            [source], deployment_descriptor=descriptor)
+        got = {}
+        for issue in result.report.issues:
+            got[issue.rule] = got.get(issue.rule, 0) + 1
+        for rule, count in expected.items():
+            if name == "thread_flow":
+                assert got.get(rule, 0) == 0
+            else:
+                assert got.get(rule, 0) >= count, f"{name}: {got}"

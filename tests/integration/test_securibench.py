@@ -1,0 +1,81 @@
+"""The SecuriBench-Micro-style suite, per configuration.
+
+The precise hybrid configuration must match every case's expectation
+exactly; CI must be a sound over-approximation; the dynamic interpreter
+must agree with the expectations on realizable flows.
+"""
+
+import pytest
+
+from repro import TAJ, TAJConfig
+from repro.bench.securibench import CASES, all_cases, case_count
+from repro.interp import run_dynamic
+
+ALL = list(all_cases())
+
+
+def _counts(result):
+    out = {}
+    for issue in result.report.issues:
+        out[issue.rule] = out.get(issue.rule, 0) + 1
+    return out
+
+
+@pytest.mark.parametrize("category,name,source,expected",
+                         ALL, ids=[f"{c}:{n}" for c, n, _, _ in ALL])
+def test_hybrid_matches_expectation(category, name, source, expected):
+    result = TAJ(TAJConfig.hybrid_unbounded()).analyze_sources([source])
+    got = _counts(result)
+    for rule, count in expected.items():
+        assert got.get(rule, 0) == count, f"{category}:{name} -> {got}"
+
+
+@pytest.mark.parametrize("category,name,source,expected",
+                         ALL, ids=[f"{c}:{n}" for c, n, _, _ in ALL])
+def test_ci_is_sound(category, name, source, expected):
+    result = TAJ(TAJConfig.ci()).analyze_sources([source])
+    got = _counts(result)
+    for rule, count in expected.items():
+        assert got.get(rule, 0) >= count, f"{category}:{name} -> {got}"
+
+
+def test_suite_has_substantial_coverage():
+    assert case_count() >= 30
+    assert len(CASES) >= 10  # categories
+
+
+# Cases whose expected flows rely on static over-approximation (the
+# array index collapse and the weak heap update): the dynamic run
+# legitimately observes nothing there.
+_STATIC_ONLY = {"Arrays2_collapsed_indices", "Data4_field_overwrite_weak",
+                "Strong2_branch_join", "Collections3_unknown_key"}
+
+
+@pytest.mark.parametrize(
+    "category,name,source,expected",
+    [row for row in ALL if any(v > 0 for v in row[3].values())
+     and row[1] not in _STATIC_ONLY],
+    ids=[f"{c}:{n}" for c, n, _, e in ALL
+         if any(v > 0 for v in e.values()) and n not in _STATIC_ONLY])
+def test_positive_cases_dynamically_confirmed(category, name, source,
+                                              expected):
+    summary = run_dynamic([source])
+    confirmed = any(
+        summary.confirms(rule, witness.sink_method)
+        for rule, count in expected.items() if count > 0
+        for witness in summary.witnesses)
+    assert confirmed, f"{category}:{name} not realizable"
+
+
+@pytest.mark.parametrize(
+    "category,name,source,expected",
+    [row for row in ALL if all(v == 0 for v in row[3].values())],
+    ids=[f"{c}:{n}" for c, n, _, e in ALL
+         if all(v == 0 for v in e.values())])
+def test_negative_cases_dynamically_silent(category, name, source,
+                                           expected):
+    summary = run_dynamic([source])
+    for rule in ("XSS", "SQLI", "MALICIOUS_FILE", "INFO_LEAK"):
+        for witness in summary.witnesses:
+            assert not summary.confirms(rule, witness.sink_method), \
+                f"{category}:{name}: {rule} at {witness.sink_method}"

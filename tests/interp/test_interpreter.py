@@ -1,0 +1,265 @@
+"""Concrete-interpreter unit tests."""
+
+import pytest
+
+from repro.interp import (Interpreter, JInt, JString, NULL, execute,
+                          prepare_for_execution)
+
+
+def run(source, descriptor=None, fault=False, fuel=100_000):
+    program = prepare_for_execution([source], descriptor)
+    return execute(program, fuel=fuel, fault_injection=fault)
+
+
+def tainted(result):
+    return result.tainted_events()
+
+
+def test_arithmetic_and_loops():
+    result = run("""
+class C extends HttpServlet {
+  void doGet(HttpServletRequest req, HttpServletResponse resp) {
+    int total = 0;
+    for (int i = 1; i <= 4; i++) { total = total + i; }
+    if (total == 10) {
+      resp.getWriter().println(req.getParameter("p"));
+    }
+  }
+}""")
+    assert len(tainted(result)) == 1  # 1+2+3+4 really is 10
+
+
+def test_untainted_branch_not_taken():
+    result = run("""
+class C extends HttpServlet {
+  void doGet(HttpServletRequest req, HttpServletResponse resp) {
+    int total = 2 + 2;
+    if (total == 5) {
+      resp.getWriter().println(req.getParameter("p"));
+    }
+  }
+}""")
+    assert not tainted(result)
+
+
+def test_source_taints_and_sanitizer_annotates():
+    result = run("""
+class C extends HttpServlet {
+  void doGet(HttpServletRequest req, HttpServletResponse resp) {
+    resp.getWriter().println(req.getParameter("a"));
+    resp.getWriter().println(URLEncoder.encode(req.getParameter("b")));
+  }
+}""")
+    events = result.events
+    assert len(events) == 2
+    assert events[0].tainted
+    assert not any("|san=" in label for label in events[0].all_taint)
+    # Sanitizers annotate rather than strip; rule-specific judgement
+    # happens at validation time.
+    assert all("|san=URLEncoder.encode" in label
+               for label in events[1].all_taint)
+
+
+def test_string_concat_propagates_taint():
+    result = run("""
+class C extends HttpServlet {
+  void doGet(HttpServletRequest req, HttpServletResponse resp) {
+    String greeting = "Hello " + req.getParameter("name") + "!";
+    resp.getWriter().println(greeting);
+  }
+}""")
+    assert tainted(result)
+
+
+def test_string_methods_preserve_taint():
+    result = run("""
+class C extends HttpServlet {
+  void doGet(HttpServletRequest req, HttpServletResponse resp) {
+    String v = req.getParameter("p").trim().toUpperCase();
+    resp.getWriter().println(v);
+  }
+}""")
+    assert tainted(result)
+
+
+def test_heap_round_trip():
+    result = run("""
+class Box { String v; }
+class C extends HttpServlet {
+  void doGet(HttpServletRequest req, HttpServletResponse resp) {
+    Box b = new Box();
+    b.v = req.getParameter("p");
+    resp.getWriter().println(b.v);
+  }
+}""")
+    assert tainted(result)
+
+
+def test_carrier_state_taint():
+    result = run("""
+class Box {
+  String v;
+  Box(String v) { this.v = v; }
+}
+class C extends HttpServlet {
+  void doGet(HttpServletRequest req, HttpServletResponse resp) {
+    Box b = new Box(req.getParameter("p"));
+    resp.getWriter().println(b);
+  }
+}""")
+    events = tainted(result)
+    assert events and events[0].state_taint and not \
+        events[0].direct_taint
+
+
+def test_real_hashmap_bodies_execute():
+    result = run("""
+class C extends HttpServlet {
+  void doGet(HttpServletRequest req, HttpServletResponse resp) {
+    HashMap m = new HashMap();
+    m.put("dirty", req.getParameter("p"));
+    m.put("clean", "safe");
+    resp.getWriter().println(m.get("clean"));
+    resp.getWriter().println(m.get("dirty"));
+  }
+}""")
+    events = result.events
+    assert not events[0].tainted  # concrete map lookup is exact
+    assert events[1].tainted
+
+
+def test_reflection_executes_for_real():
+    result = run("""
+class Target {
+  public String render(String v) { return v; }
+}
+class C extends HttpServlet {
+  void doGet(HttpServletRequest req, HttpServletResponse resp) {
+    Target t = new Target();
+    Class k = Class.forName("Target");
+    Method m = k.getMethod("render");
+    Object out = m.invoke(t, new Object[] { req.getParameter("p") });
+    resp.getWriter().println(out);
+  }
+}""")
+    assert tainted(result)
+
+
+def test_thread_runs_inline():
+    result = run("""
+class Shared { static String chan; }
+class Task implements Runnable {
+  HttpServletResponse resp;
+  Task(HttpServletResponse r) { this.resp = r; }
+  public void run() {
+    this.resp.getWriter().println(Shared.chan);
+  }
+}
+class C extends HttpServlet {
+  void doGet(HttpServletRequest req, HttpServletResponse resp) {
+    Shared.chan = req.getParameter("p");
+    Thread t = new Thread(new Task(resp));
+    t.start();
+  }
+}""")
+    assert tainted(result)
+
+
+def test_catch_blocks_need_fault_injection():
+    source = """
+class C extends HttpServlet {
+  void doGet(HttpServletRequest req, HttpServletResponse resp) {
+    try {
+      int x = 1;
+    } catch (Exception e) {
+      resp.getWriter().println(e.getMessage());
+    }
+  }
+}"""
+    normal = run(source)
+    assert not normal.events
+    faulty = run(source, fault=True)
+    events = tainted(faulty)
+    assert events
+    assert any(label.startswith("exc:") for label in
+               events[0].all_taint)
+
+
+def test_infinite_loop_hits_fuel():
+    result = run("""
+class C extends HttpServlet {
+  void doGet(HttpServletRequest req, HttpServletResponse resp) {
+    int x = 1;
+    while (x > 0) { x = x + 1; }
+  }
+}""", fuel=5_000)
+    assert result.aborted_entrypoints
+
+
+def test_throw_aborts_entrypoint():
+    result = run("""
+class C extends HttpServlet {
+  void doGet(HttpServletRequest req, HttpServletResponse resp) {
+    RuntimeException e = new RuntimeException("boom");
+    throw e;
+  }
+}""")
+    assert result.aborted_entrypoints
+
+
+def test_ejb_lookup_and_dispatch():
+    result = run("""
+class CartBean {
+  String echo(String v) { return v; }
+}
+class C extends HttpServlet {
+  void doGet(HttpServletRequest req, HttpServletResponse resp) {
+    InitialContext ctx = new InitialContext();
+    Object ref = ctx.lookup("ejb/Cart");
+    Object home = PortableRemoteObject.narrow(ref, "CartHome");
+    CartBean cart = (CartBean) home.create();
+    resp.getWriter().println(cart.echo(req.getParameter("p")));
+  }
+}""", descriptor={"ejb/Cart": "CartBean"})
+    assert tainted(result)
+
+
+def test_string_builder_accumulates_taint():
+    result = run("""
+class C extends HttpServlet {
+  void doGet(HttpServletRequest req, HttpServletResponse resp) {
+    StringBuilder sb = new StringBuilder();
+    sb.append("a");
+    sb.append(req.getParameter("p"));
+    resp.getWriter().println(sb.toString());
+  }
+}""")
+    assert tainted(result)
+
+
+def test_readfully_taints_buffer():
+    result = run("""
+class C extends HttpServlet {
+  void doGet(HttpServletRequest req, HttpServletResponse resp) {
+    RandomAccessFile f = new RandomAccessFile("x.bin");
+    Object[] buffer = new Object[2];
+    f.readFully(buffer);
+    resp.getWriter().println(buffer[0]);
+  }
+}""")
+    assert tainted(result)
+
+
+def test_virtual_dispatch_at_runtime():
+    result = run("""
+class Base { String tag() { return "base"; } }
+class Derived extends Base { String tag() { return "derived"; } }
+class C extends HttpServlet {
+  void doGet(HttpServletRequest req, HttpServletResponse resp) {
+    Base b = new Derived();
+    if (b.tag().equals("derived")) {
+      resp.getWriter().println(req.getParameter("p"));
+    }
+  }
+}""")
+    assert tainted(result)

@@ -1,0 +1,95 @@
+"""Cross-validation: dynamic execution vs static findings vs ground
+truth — the strongest soundness evidence in the repository."""
+
+import pytest
+
+from repro import TAJ, TAJConfig
+from repro.bench import AppSpec, generate_app
+from repro.bench.micro import MICRO_CASES, MICRO_DESCRIPTORS, MOTIVATING
+from repro.interp import run_dynamic
+
+# Micro cases whose flows the sequential interpreter can realize.
+# Excluded: none — every positive case is dynamically realizable.
+_POSITIVE_RULES = {
+    name: expected for name, (___, expected) in MICRO_CASES.items()
+    if any(v > 0 for v in expected.values())
+}
+
+
+@pytest.mark.parametrize("name", sorted(_POSITIVE_RULES))
+def test_positive_micro_cases_are_dynamically_confirmed(name):
+    source, expected = MICRO_CASES[name]
+    summary = run_dynamic([source], MICRO_DESCRIPTORS.get(name))
+    assert summary.witnesses, f"{name}: no tainted sink at run time"
+
+
+@pytest.mark.parametrize("name", [
+    n for n, (_, expected) in sorted(MICRO_CASES.items())
+    if all(v == 0 for v in expected.values())])
+def test_negative_micro_cases_confirm_nothing(name):
+    """Sanitized / benign cases never dynamically confirm any rule:
+    reporting them statically would be a false positive."""
+    source, _ = MICRO_CASES[name]
+    summary = run_dynamic([source], MICRO_DESCRIPTORS.get(name))
+    for rule in ("XSS", "SQLI", "MALICIOUS_FILE", "INFO_LEAK"):
+        for witness in summary.witnesses:
+            assert not summary.confirms(rule, witness.sink_method), \
+                f"{name}: {rule} at {witness.sink_method}"
+
+
+def test_motivating_dynamic_matches_static():
+    summary = run_dynamic([MOTIVATING])
+    static = TAJ(TAJConfig.hybrid_unbounded()).analyze_sources(
+        [MOTIVATING])
+    # Exactly one sink method receives tainted data dynamically, and it
+    # is the one the static analysis reports.
+    methods = {w.sink_method for w in summary.witnesses}
+    assert methods == {"Motivating.doGet/2"}
+    assert static.issues == 1
+    assert summary.confirms("XSS", "Motivating.doGet/2")
+
+
+def test_generated_app_ground_truth_is_dynamically_sound():
+    """For a generated benchmark app, every planted TP that the
+    sequential schedule can realize is dynamically confirmed, and no
+    sanitized plant ever fires."""
+    app = generate_app(AppSpec(name="dyn", seed=9, tp_reflect=1,
+                               tp_thread=1, uses_struts=True,
+                               uses_ejb=True, trap_xentry=0,
+                               trap_logger=0, trap_context=0,
+                               trap_factory=0, cold_classes=0,
+                               lib_classes=0))
+    summary = run_dynamic(app.sources, app.deployment_descriptor)
+    confirmed = 0
+    for plant in app.planted:
+        if plant.kind == "san":
+            assert not summary.confirms(plant.rule, plant.sink_method), \
+                f"sanitized plant fired: {plant}"
+        elif plant.is_true_positive:
+            if summary.confirms(plant.rule, plant.sink_method):
+                confirmed += 1
+    tps = sum(1 for p in app.planted if p.is_true_positive)
+    # The sequential schedule realizes (nearly) all planted TPs.
+    assert confirmed >= tps - 1, (confirmed, tps)
+
+
+def test_dynamic_is_a_lower_bound_for_sound_static_analysis():
+    """Anything the interpreter confirms, the sound static configs
+    report (on the micro suite)."""
+    for name, (source, expected) in sorted(MICRO_CASES.items()):
+        descriptor = MICRO_DESCRIPTORS.get(name)
+        summary = run_dynamic([source], descriptor)
+        confirming = [w for w in summary.witnesses
+                      if any(summary.confirms(rule, w.sink_method)
+                             for rule in ("XSS", "SQLI",
+                                          "MALICIOUS_FILE",
+                                          "INFO_LEAK"))]
+        if not confirming:
+            continue
+        static = TAJ(TAJConfig.hybrid_unbounded()).analyze_sources(
+            [source], deployment_descriptor=descriptor)
+        static_sinks = {i.sink.split("@")[0] for i in
+                        static.report.issues}
+        for witness in confirming:
+            assert witness.sink_method in static_sinks, \
+                f"{name}: dynamic flow missed statically"

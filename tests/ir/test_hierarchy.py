@@ -1,0 +1,107 @@
+"""Class-hierarchy and dispatch tests."""
+
+from repro.ir import ClassHierarchy
+from tests.conftest import lower_mini
+
+SOURCE = """
+interface Speaker { String speak(); }
+class Animal {
+  String speak() { return "..."; }
+  String name() { return "animal"; }
+}
+class Dog extends Animal implements Speaker {
+  String speak() { return "woof"; }
+}
+class Puppy extends Dog {
+}
+class Cat extends Animal {
+  String speak() { return "meow"; }
+}
+"""
+
+
+def hierarchy():
+    program = lower_mini(SOURCE)
+    return program, ClassHierarchy(program)
+
+
+def test_subtype_reflexive():
+    _, h = hierarchy()
+    assert h.is_subtype("Dog", "Dog")
+
+
+def test_subtype_transitive():
+    _, h = hierarchy()
+    assert h.is_subtype("Puppy", "Animal")
+    assert not h.is_subtype("Animal", "Puppy")
+
+
+def test_everything_subtypes_object():
+    _, h = hierarchy()
+    assert h.is_subtype("Cat", "Object")
+
+
+def test_interface_subtyping():
+    _, h = hierarchy()
+    assert h.is_subtype("Dog", "Speaker")
+    assert h.is_subtype("Puppy", "Speaker")  # inherited interface
+    assert not h.is_subtype("Cat", "Speaker")
+
+
+def test_subtypes_enumeration():
+    _, h = hierarchy()
+    assert h.subtypes("Animal") >= {"Animal", "Dog", "Puppy", "Cat"}
+
+
+def test_concrete_subtypes_excludes_interfaces():
+    _, h = hierarchy()
+    subs = h.concrete_subtypes("Speaker")
+    assert "Speaker" not in subs
+    assert set(subs) >= {"Dog", "Puppy"}
+
+
+def test_dispatch_direct():
+    _, h = hierarchy()
+    assert h.dispatch("Cat", "speak", 0).class_name == "Cat"
+
+
+def test_dispatch_inherited():
+    _, h = hierarchy()
+    # Puppy inherits Dog's override.
+    assert h.dispatch("Puppy", "speak", 0).class_name == "Dog"
+    # name() comes from Animal.
+    assert h.dispatch("Puppy", "name", 0).class_name == "Animal"
+
+
+def test_dispatch_miss_returns_none():
+    _, h = hierarchy()
+    assert h.dispatch("Dog", "fly", 0) is None
+    assert h.dispatch("Unknown", "speak", 0) is None
+
+
+def test_dispatch_respects_arity():
+    _, h = hierarchy()
+    assert h.dispatch("Dog", "speak", 2) is None
+
+
+def test_superclass_chain():
+    _, h = hierarchy()
+    assert h.superclass_chain("Puppy") == ["Puppy", "Dog", "Animal",
+                                           "Object"]
+
+
+def test_resolve_field_owner():
+    program = lower_mini("""
+class Base { String f; }
+class Derived extends Base { String g; }
+""")
+    h = ClassHierarchy(program)
+    assert h.resolve_field_owner("Derived", "f") == "Base"
+    assert h.resolve_field_owner("Derived", "g") == "Derived"
+    assert h.resolve_field_owner("Derived", "nope") is None
+
+
+def test_all_overrides():
+    _, h = hierarchy()
+    owners = {m.class_name for m in h.all_overrides("speak", 0)}
+    assert owners >= {"Animal", "Dog", "Cat"}

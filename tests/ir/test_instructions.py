@@ -1,0 +1,129 @@
+"""Instruction def/use semantics — the contract every analysis relies on."""
+
+from repro.ir import (ARRAY_CONTENTS, ArrayLoad, ArrayStore, Assign, BinOp,
+                      Call, Cast, Const, EnterCatch, Goto, If, Load, New,
+                      Phi, Return, Select, StaticLoad, StaticStore, Store,
+                      StringOp, Throw, UnOp, is_terminator)
+
+
+def test_const_defines_lhs():
+    instr = Const("x", 1)
+    assert instr.defs() == ["x"] and instr.uses() == []
+
+
+def test_assign_def_use():
+    instr = Assign("x", "y")
+    assert instr.defs() == ["x"] and instr.uses() == ["y"]
+    assert instr.value_uses() == ["y"]
+
+
+def test_binop_uses_both_operands():
+    instr = BinOp("x", "+", "a", "b")
+    assert set(instr.uses()) == {"a", "b"}
+
+
+def test_load_base_is_not_a_value_use():
+    instr = Load("x", "base", "f")
+    assert instr.uses() == ["base"]
+    assert instr.value_uses() == []  # thin-slicing base-pointer exclusion
+
+
+def test_store_value_use_excludes_base():
+    instr = Store("base", "f", "v")
+    assert set(instr.uses()) == {"base", "v"}
+    assert instr.value_uses() == ["v"]
+
+
+def test_array_ops_mirror_field_ops():
+    load = ArrayLoad("x", "arr", "i")
+    assert load.value_uses() == []
+    store = ArrayStore("arr", "v", "i")
+    assert store.value_uses() == ["v"]
+
+
+def test_static_ops():
+    assert StaticLoad("x", "C", "f").defs() == ["x"]
+    assert StaticStore("C", "f", "v").uses() == ["v"]
+
+
+def test_call_uses_receiver_and_args():
+    call = Call("r", "virtual", "C", "m", "recv", ["a", "b"])
+    assert call.defs() == ["r"]
+    assert call.uses() == ["recv", "a", "b"]
+    assert call.arity == 2
+    assert call.target_id() == "C.m"
+
+
+def test_call_without_lhs_defines_nothing():
+    call = Call(None, "static", "C", "m", None, [])
+    assert call.defs() == []
+
+
+def test_stringop_flows_args_to_lhs():
+    op = StringOp("x", "String.concat", ["a", "b"])
+    assert op.defs() == ["x"] and op.uses() == ["a", "b"]
+
+
+def test_select_flows_all_args():
+    sel = Select("x", ["a", "b", "c"])
+    assert sel.uses() == ["a", "b", "c"]
+
+
+def test_cast_passes_value():
+    cast = Cast("x", "T", "v")
+    assert cast.defs() == ["x"] and cast.uses() == ["v"]
+
+
+def test_phi_uses_operands():
+    phi = Phi("x", {0: "a", 1: "b"})
+    assert set(phi.uses()) == {"a", "b"}
+
+
+def test_if_condition_is_not_value_relevant():
+    instr = If("c", 1, 2)
+    assert instr.uses() == ["c"]
+    assert instr.value_uses() == []
+
+
+def test_enter_catch_defines_exception():
+    instr = EnterCatch("e", "IOException")
+    assert instr.defs() == ["e"]
+
+
+def test_terminators():
+    assert is_terminator(Return(None))
+    assert is_terminator(Goto(1))
+    assert is_terminator(If("c", 0, 1))
+    assert is_terminator(Throw("e"))
+    assert not is_terminator(Assign("a", "b"))
+
+
+def test_replace_uses_rewrites_in_place():
+    instr = BinOp("x", "+", "a", "b")
+    instr.replace_uses({"a": "a.1"})
+    assert instr.left == "a.1" and instr.right == "b"
+
+
+def test_replace_defs_rewrites_lhs():
+    instr = Assign("x", "y")
+    instr.replace_defs({"x": "x.2"})
+    assert instr.lhs == "x.2"
+
+
+def test_call_replace_uses_covers_receiver():
+    call = Call("r", "virtual", "", "m", "recv", ["a"])
+    call.replace_uses({"recv": "recv.1", "a": "a.1"})
+    assert call.receiver == "recv.1" and call.args == ["a.1"]
+
+
+def test_array_contents_marker():
+    assert ARRAY_CONTENTS == "@elems"
+
+
+def test_unop():
+    instr = UnOp("x", "!", "a")
+    assert instr.defs() == ["x"] and instr.uses() == ["a"]
+
+
+def test_new_has_no_uses():
+    assert New("x", "C").uses() == []

@@ -1,0 +1,42 @@
+"""IR printer tests."""
+
+from repro.ir import format_class, format_method, format_program
+from tests.conftest import lower_mini
+
+
+def test_format_method_contains_blocks_and_iids():
+    program = lower_mini("""
+class C {
+  int m(int p) { if (p > 0) { return 1; } return 2; }
+}""")
+    text = format_method(program.lookup_method("C.m/1"))
+    assert "C.m/1" in text
+    assert "B0:" in text
+    assert "[  0]" in text
+
+
+def test_format_method_shows_modifiers():
+    program = lower_mini("class C { static native void m(); }")
+    text = format_method(program.lookup_method("C.m/0"))
+    assert "static" in text and "native" in text
+
+
+def test_format_class_lists_fields():
+    program = lower_mini("class C { String f; static int g; }")
+    text = format_class(program.get_class("C"))
+    assert "String f;" in text
+    assert "static int g;" in text
+
+
+def test_format_program_orders_classes_and_entrypoints():
+    program = lower_mini("class Zed { } class Abc { }")
+    program.entrypoints.append("Abc.x/0")
+    text = format_program(program)
+    assert text.index("class Abc") < text.index("class Zed")
+    assert "entrypoints: Abc.x/0" in text
+
+
+def test_library_marker_printed():
+    program = lower_mini("class C { }")
+    text = format_class(program.get_class("Object"))
+    assert text.startswith("library class Object")

@@ -1,0 +1,48 @@
+"""Type representation tests."""
+
+from repro.ir import (ArrayType, BOOLEAN, ClassType, INT, PrimitiveType,
+                      STRING, VOID, erasure, parse_type)
+
+
+def test_parse_primitive():
+    assert parse_type("int") is INT
+    assert parse_type("boolean") is BOOLEAN
+    assert parse_type("void") is VOID
+
+
+def test_parse_class_type():
+    t = parse_type("Foo")
+    assert isinstance(t, ClassType) and t.name == "Foo"
+
+
+def test_parse_array_type():
+    t = parse_type("String[]")
+    assert isinstance(t, ArrayType)
+    assert t.element == STRING
+
+
+def test_parse_nested_array():
+    t = parse_type("int[][]")
+    assert isinstance(t, ArrayType) and isinstance(t.element, ArrayType)
+
+
+def test_is_reference():
+    assert not INT.is_reference()
+    assert STRING.is_reference()
+    assert parse_type("Foo[]").is_reference()
+
+
+def test_str_round_trip():
+    for text in ("int", "Foo", "String[]", "Object[][]"):
+        assert str(parse_type(text)) == text
+
+
+def test_erasure():
+    assert erasure(parse_type("Foo")) == "Foo"
+    assert erasure(parse_type("Foo[]")) == "Object"
+    assert erasure(INT) == "int"
+
+
+def test_types_are_interned_values():
+    assert parse_type("Foo") == parse_type("Foo")
+    assert hash(parse_type("A[]")) == hash(parse_type("A[]"))

@@ -1,0 +1,81 @@
+"""IR validation tests."""
+
+import pytest
+
+from repro.ir import (Assign, Const, Goto, Method, Param, Phi, Program,
+                      Return, STRING, ValidationError, validate_method,
+                      validate_program)
+from tests.conftest import lower_mini
+
+
+def test_lowered_program_validates():
+    program = lower_mini("""
+class C {
+  int m(int p) {
+    int x = 0;
+    while (x < p) { x = x + 1; }
+    return x;
+  }
+}""")
+    validate_program(program)  # should not raise
+
+
+def test_native_method_with_body_rejected():
+    method = Method("C", "m", [], is_native=True)
+    block = method.new_block()
+    method.append(block, Return(None))
+    assert validate_method(method)
+
+
+def test_missing_terminator_detected():
+    method = Method("C", "m", [])
+    block = method.new_block()
+    method.append(block, Const("x", 1))
+    # finish() not called: no terminator.
+    problems = validate_method(method)
+    assert any("terminator" in p for p in problems)
+
+
+def test_dangling_successor_detected():
+    method = Method("C", "m", [])
+    block = method.new_block()
+    method.append(block, Goto(99))
+    block.succs = [99]
+    problems = validate_method(method)
+    assert any("missing block" in p for p in problems)
+
+
+def test_duplicate_iid_detected():
+    method = Method("C", "m", [])
+    block = method.new_block()
+    a = method.append(block, Const("x", 1))
+    b = method.append(block, Return(None))
+    b.iid = a.iid
+    problems = validate_method(method)
+    assert any("duplicate iid" in p for p in problems)
+
+
+def test_phi_after_non_phi_detected():
+    method = Method("C", "m", [])
+    block = method.new_block()
+    method.append(block, Const("x", 1))
+    phi = Phi("y", {})
+    phi.iid = method.fresh_iid()
+    block.instrs.insert(1, phi)
+    method.append(block, Return(None))
+    problems = validate_method(method)
+    assert any("phi" in p for p in problems)
+
+
+def test_unresolvable_entrypoint_detected():
+    program = lower_mini("class C { void m() { } }")
+    program.entrypoints.append("C.missing/0")
+    with pytest.raises(ValidationError):
+        validate_program(program)
+
+
+def test_empty_block_detected():
+    method = Method("C", "m", [])
+    method.new_block()
+    problems = validate_method(method)
+    assert any("empty block" in p for p in problems)

@@ -1,0 +1,298 @@
+"""Lowering tests: AST → IR."""
+
+import pytest
+
+from repro.ir import (ArrayLoad, ArrayStore, Assign, BinOp, Call, Cast,
+                      Const, EnterCatch, Load, New, NewArray, Return,
+                      StaticLoad, StaticStore, Store)
+from repro.lang import LowerError, lower_source
+from tests.conftest import lower_mini
+
+
+def instrs_of(program, qname):
+    return list(program.lookup_method(qname).instructions())
+
+
+def find(program, qname, kind):
+    return [i for i in instrs_of(program, qname) if isinstance(i, kind)]
+
+
+def test_simple_method_lowered():
+    program = lower_mini("class C { int m() { return 1; } }")
+    instrs = instrs_of(program, "C.m/0")
+    assert isinstance(instrs[0], Const)
+    assert isinstance(instrs[-1], Return)
+
+
+def test_param_and_local_flow():
+    program = lower_mini(
+        "class C { Object m(Object p) { Object x = p; return x; } }")
+    assigns = find(program, "C.m/1", Assign)
+    assert any(a.rhs == "p" for a in assigns)
+
+
+def test_field_store_and_load():
+    program = lower_mini("""
+class C {
+  Object f;
+  void set(Object v) { this.f = v; }
+  Object get() { return this.f; }
+}""")
+    stores = find(program, "C.set/1", Store)
+    assert stores[0].base == "this" and stores[0].fld == "f"
+    loads = find(program, "C.get/0", Load)
+    assert loads[0].fld == "f"
+
+
+def test_implicit_this_field_access():
+    program = lower_mini("""
+class C {
+  Object f;
+  Object m() { return f; }
+  void s(Object v) { f = v; }
+}""")
+    assert find(program, "C.m/0", Load)[0].base == "this"
+    assert find(program, "C.s/1", Store)[0].base == "this"
+
+
+def test_static_field_access():
+    program = lower_mini("""
+class C {
+  static Object g;
+  void m(Object v) { C.g = v; Object x = C.g; }
+}""")
+    assert find(program, "C.m/1", StaticStore)[0].class_name == "C"
+    assert find(program, "C.m/1", StaticLoad)[0].fld == "g"
+
+
+def test_inherited_static_field_resolves():
+    program = lower_mini("""
+class Base { static Object g; }
+class C extends Base {
+  void m(Object v) { g = v; }
+}""")
+    store = find(program, "C.m/1", StaticStore)[0]
+    assert store.class_name == "Base"
+
+
+def test_array_operations():
+    program = lower_mini("""
+class C {
+  void m(Object v) {
+    Object[] a = new Object[3];
+    a[0] = v;
+    Object x = a[1];
+  }
+}""")
+    assert find(program, "C.m/1", NewArray)
+    assert find(program, "C.m/1", ArrayStore)
+    assert find(program, "C.m/1", ArrayLoad)
+
+
+def test_array_literal_stores_elements():
+    program = lower_mini("""
+class C {
+  void m(Object v) { Object[] a = new Object[] { v, v }; }
+}""")
+    assert len(find(program, "C.m/1", ArrayStore)) == 2
+
+
+def test_new_object_emits_alloc_and_ctor_call():
+    program = lower_mini("""
+class D { D(Object v) { } }
+class C { void m(Object v) { D d = new D(v); } }""")
+    news = find(program, "C.m/1", New)
+    assert news[0].class_name == "D"
+    ctors = [c for c in find(program, "C.m/1", Call)
+             if c.method_name == "<init>"]
+    assert ctors and ctors[0].kind == "special"
+
+
+def test_new_without_ctor_has_no_ctor_call():
+    program = lower_mini("""
+class D { }
+class C { void m() { D d = new D(); } }""")
+    assert not find(program, "C.m/0", Call)
+
+
+def test_virtual_call_on_local():
+    program = lower_mini("""
+class D { void go() { } }
+class C { void m(D d) { d.go(); } }""")
+    call = find(program, "C.m/1", Call)[0]
+    assert call.kind == "virtual" and call.receiver == "d"
+
+
+def test_static_call_resolution():
+    program = lower_mini("""
+class U { static Object id(Object v) { return v; } }
+class C { Object m(Object v) { return U.id(v); } }""")
+    call = find(program, "C.m/1", Call)[0]
+    assert call.kind == "static" and call.class_name == "U"
+
+
+def test_local_shadows_class_name():
+    program = lower_mini("""
+class U { static Object id(Object v) { return v; } }
+class C {
+  Object m(U U2) { return U.id(U2); }
+}""")
+    call = find(program, "C.m/1", Call)[0]
+    assert call.kind == "static"
+
+
+def test_implicit_self_call():
+    program = lower_mini("""
+class C {
+  void helper() { }
+  void m() { helper(); }
+}""")
+    call = find(program, "C.m/0", Call)[0]
+    assert call.kind == "virtual" and call.receiver == "this"
+
+
+def test_implicit_static_call_in_static_method():
+    program = lower_mini("""
+class C {
+  static void helper() { }
+  static void m() { helper(); }
+}""")
+    call = find(program, "C.m/0", Call)[0]
+    assert call.kind == "static"
+
+
+def test_catch_defines_exception_var():
+    program = lower_mini("""
+class C {
+  void m() {
+    try { int x = 1; } catch (Exception e) { Object y = e; }
+  }
+}""")
+    catches = find(program, "C.m/0", EnterCatch)
+    assert catches and catches[0].exc_type == "Exception"
+
+
+def test_try_entry_branches_to_catch():
+    program = lower_mini("""
+class C {
+  void m() {
+    try { int x = 1; } catch (Exception e) { int y = 2; }
+  }
+}""")
+    method = program.lookup_method("C.m/0")
+    catch_blocks = {bid for bid, block in method.blocks.items()
+                    if any(isinstance(i, EnterCatch) for i in block.instrs)}
+    assert catch_blocks
+    preds = set()
+    for bid in catch_blocks:
+        preds.update(method.blocks[bid].preds)
+    assert preds  # reachable from the dispatch chain
+
+
+def test_string_concat_is_binop():
+    program = lower_mini("""
+class C { Object m(Object a) { return "x" + a; } }""")
+    ops = find(program, "C.m/1", BinOp)
+    assert ops and ops[0].op == "+"
+
+
+def test_cast_lowered():
+    program = lower_mini("""
+class D { }
+class C { D m(Object o) { return (D) o; } }""")
+    casts = find(program, "C.m/1", Cast)
+    assert casts[0].type_name == "D"
+
+
+def test_unknown_name_rejected():
+    with pytest.raises(LowerError):
+        lower_mini("class C { void m() { x = nothere; } }")
+
+
+def test_this_in_static_method_rejected():
+    with pytest.raises(LowerError):
+        lower_mini("class C { static void m() { Object x = this; } }")
+
+
+def test_break_outside_loop_rejected():
+    with pytest.raises(LowerError):
+        lower_mini("class C { void m() { break; } }")
+
+
+def test_duplicate_class_rejected():
+    with pytest.raises(LowerError):
+        lower_mini("class C { } class C { }")
+
+
+def test_var_types_recorded():
+    program = lower_mini("""
+class C {
+  String m(String s) {
+    String x = s;
+    C c = new C();
+    return x;
+  }
+}""")
+    method = program.lookup_method("C.m/1")
+    assert method.type_of("x") == "String"
+    assert method.type_of("c") == "C"
+    assert method.type_of("this") == "C"
+
+
+def test_call_return_type_inferred():
+    program = lower_mini("""
+class C {
+  String name() { return "n"; }
+  void m() { String x = this.name(); }
+}""")
+    method = program.lookup_method("C.m/0")
+    # The temp holding the call result is typed String.
+    assert method.type_of("x") == "String"
+
+
+def test_shadowed_local_gets_fresh_name():
+    program = lower_mini("""
+class C {
+  void m() {
+    int x = 1;
+    if (x > 0) { int y = 2; }
+    if (x > 1) { int y = 3; }
+  }
+}""")
+    names = set()
+    for instr in instrs_of(program, "C.m/0"):
+        names.update(instr.defs())
+    assert "y" in names and "y$1" in names
+
+
+def test_scoped_redeclaration_in_blocks():
+    program = lower_mini("""
+class C {
+  int m() {
+    int x = 1;
+    { int x2 = x; }
+    return x;
+  }
+}""")
+    assert program.lookup_method("C.m/0") is not None
+
+
+def test_line_numbers_preserved():
+    program = lower_mini("""
+class C {
+  void m() {
+    int x = 1;
+  }
+}""")
+    instrs = instrs_of(program, "C.m/0")
+    assert any(i.line > 0 for i in instrs)
+
+
+def test_sources_can_reference_each_other():
+    from repro.lang import lower_sources
+    program = lower_sources([
+        "library class Object { }",
+        "class A { static Object mk() { return new B(); } }",
+        "class B { }",
+    ])
+    assert program.get_class("A") and program.get_class("B")

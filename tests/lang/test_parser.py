@@ -1,0 +1,284 @@
+"""Parser unit tests."""
+
+import pytest
+
+from repro.lang import ParseError, parse
+from repro.lang import ast
+
+
+def parse_class(body: str, name: str = "C"):
+    unit = parse(f"class {name} {{ {body} }}")
+    return unit.classes[0]
+
+
+def parse_method_body(stmts: str):
+    cls = parse_class(f"void m() {{ {stmts} }}")
+    return cls.methods[0].body
+
+
+def test_empty_class():
+    cls = parse_class("")
+    assert cls.name == "C"
+    assert cls.super_name == "Object"
+    assert not cls.is_interface
+
+
+def test_class_with_extends_and_implements():
+    unit = parse("class A extends B implements X, Y { }")
+    cls = unit.classes[0]
+    assert cls.super_name == "B"
+    assert cls.interfaces == ["X", "Y"]
+
+
+def test_library_modifier():
+    unit = parse("library class L { }")
+    assert unit.classes[0].is_library
+
+
+def test_interface_declaration():
+    unit = parse("interface I { void m(String s); }")
+    cls = unit.classes[0]
+    assert cls.is_interface
+    assert cls.methods[0].name == "m"
+
+
+def test_field_declarations():
+    cls = parse_class("String a; static int b;")
+    assert cls.fields[0].name == "a" and not cls.fields[0].is_static
+    assert cls.fields[1].name == "b" and cls.fields[1].is_static
+
+
+def test_method_modifiers():
+    cls = parse_class("static native String m(int a, String b);")
+    method = cls.methods[0]
+    assert method.is_static and method.is_native
+    assert [p.name for p in method.params] == ["a", "b"]
+    assert method.body is None
+
+
+def test_constructor_parsed_as_init():
+    cls = parse_class("C(String s) { }")
+    assert cls.methods[0].name == "<init>"
+    assert cls.methods[0].is_constructor
+
+
+def test_access_modifiers_are_ignored():
+    cls = parse_class("public String m() { return null; } "
+                      "private int f;")
+    assert cls.methods[0].name == "m"
+    assert cls.fields[0].name == "f"
+
+
+def test_array_types():
+    cls = parse_class("String[] m(Object[] a) { return null; }")
+    method = cls.methods[0]
+    assert method.return_type == "String[]"
+    assert method.params[0].type_name == "Object[]"
+
+
+def test_throws_clause_skipped():
+    cls = parse_class("void m() throws IOException, Foo { }")
+    assert cls.methods[0].name == "m"
+
+
+def test_var_decl_with_init():
+    stmts = parse_method_body('String s = "x";')
+    decl = stmts[0]
+    assert isinstance(decl, ast.VarDecl)
+    assert decl.type_name == "String"
+    assert isinstance(decl.init, ast.Literal)
+
+
+def test_if_else():
+    stmts = parse_method_body("if (a) { x = 1; } else { x = 2; }")
+    node = stmts[0]
+    assert isinstance(node, ast.If)
+    assert len(node.then_body) == 1 and len(node.else_body) == 1
+
+
+def test_if_without_braces():
+    stmts = parse_method_body("if (a) x = 1;")
+    assert isinstance(stmts[0], ast.If)
+    assert len(stmts[0].then_body) == 1
+
+
+def test_while_loop():
+    stmts = parse_method_body("while (a) { b = 1; }")
+    assert isinstance(stmts[0], ast.While)
+
+
+def test_for_desugars_to_while():
+    stmts = parse_method_body("for (int i = 0; i < 3; i++) { s = i; }")
+    block = stmts[0]
+    assert isinstance(block, ast.Block)
+    assert isinstance(block.body[0], ast.VarDecl)
+    loop = block.body[1]
+    assert isinstance(loop, ast.While)
+    # loop body carries the update statement at the end
+    assert isinstance(loop.body[-1], ast.Assign)
+
+
+def test_for_with_empty_sections():
+    stmts = parse_method_body("for (;;) { break; }")
+    loop = stmts[0].body[0]
+    assert isinstance(loop, ast.While)
+
+
+def test_break_continue():
+    stmts = parse_method_body("while (a) { break; continue; }")
+    loop = stmts[0]
+    assert isinstance(loop.body[0], ast.Break)
+    assert isinstance(loop.body[1], ast.Continue)
+
+
+def test_try_catch():
+    stmts = parse_method_body(
+        "try { x = 1; } catch (Exception e) { y = 2; }")
+    node = stmts[0]
+    assert isinstance(node, ast.Try)
+    assert node.catches[0].exc_type == "Exception"
+    assert node.catches[0].var_name == "e"
+
+
+def test_try_multiple_catches_and_finally():
+    stmts = parse_method_body(
+        "try { x = 1; } catch (IOException a) { } "
+        "catch (Exception b) { } finally { z = 3; }")
+    node = stmts[0]
+    assert len(node.catches) == 2
+    assert len(node.finally_body) == 1
+
+
+def test_try_requires_catch_or_finally():
+    with pytest.raises(ParseError):
+        parse_method_body("try { x = 1; }")
+
+
+def test_return_with_and_without_value():
+    stmts = parse_method_body("return; ")
+    assert isinstance(stmts[0], ast.Return) and stmts[0].value is None
+    stmts = parse_method_body("return x;")
+    assert isinstance(stmts[0].value, ast.NameRef)
+
+
+def test_throw():
+    stmts = parse_method_body("throw e;")
+    assert isinstance(stmts[0], ast.Throw)
+
+
+def test_method_call_chain():
+    stmts = parse_method_body("a.b().c(x, y);")
+    expr = stmts[0].expr
+    assert isinstance(expr, ast.MethodCall)
+    assert expr.method_name == "c"
+    assert isinstance(expr.target, ast.MethodCall)
+
+
+def test_field_access_chain():
+    stmts = parse_method_body("x = a.b.c;")
+    value = stmts[0].value
+    assert isinstance(value, ast.FieldAccess) and value.field_name == "c"
+    assert isinstance(value.target, ast.FieldAccess)
+
+
+def test_index_access():
+    stmts = parse_method_body("x = a[i];")
+    assert isinstance(stmts[0].value, ast.IndexAccess)
+
+
+def test_index_assignment():
+    stmts = parse_method_body("a[i] = x;")
+    assert isinstance(stmts[0].target, ast.IndexAccess)
+
+
+def test_new_object():
+    stmts = parse_method_body("x = new Foo(a, b);")
+    value = stmts[0].value
+    assert isinstance(value, ast.NewObject)
+    assert value.class_name == "Foo" and len(value.args) == 2
+
+
+def test_new_array_with_length():
+    stmts = parse_method_body("x = new String[5];")
+    value = stmts[0].value
+    assert isinstance(value, ast.NewArrayExpr)
+    assert value.element_type == "String"
+
+
+def test_new_array_literal():
+    stmts = parse_method_body("x = new Object[] { a, b };")
+    value = stmts[0].value
+    assert isinstance(value, ast.NewArrayExpr)
+    assert len(value.initializer) == 2
+
+
+def test_cast_expression():
+    stmts = parse_method_body("x = (String) y;")
+    value = stmts[0].value
+    assert isinstance(value, ast.Cast) and value.type_name == "String"
+
+
+def test_cast_of_call():
+    stmts = parse_method_body("x = (String) m.get(k);")
+    assert isinstance(stmts[0].value, ast.Cast)
+
+
+def test_parenthesized_expression_is_not_cast():
+    stmts = parse_method_body("x = (y);")
+    assert isinstance(stmts[0].value, ast.NameRef)
+
+
+def test_binary_precedence():
+    stmts = parse_method_body("x = a + b * c;")
+    value = stmts[0].value
+    assert value.op == "+"
+    assert value.right.op == "*"
+
+
+def test_comparison_and_logic():
+    stmts = parse_method_body("x = a < b && c == d;")
+    value = stmts[0].value
+    assert value.op == "&&"
+    assert value.left.op == "<" and value.right.op == "=="
+
+
+def test_unary_not():
+    stmts = parse_method_body("x = !a;")
+    assert isinstance(stmts[0].value, ast.Unary)
+
+
+def test_plus_equals_desugars():
+    stmts = parse_method_body("x += 2;")
+    node = stmts[0]
+    assert isinstance(node, ast.Assign)
+    assert node.value.op == "+"
+
+
+def test_increment_desugars():
+    stmts = parse_method_body("x++;")
+    node = stmts[0]
+    assert isinstance(node, ast.Assign)
+    assert node.value.op == "+"
+
+
+def test_this_reference():
+    stmts = parse_method_body("x = this.f;")
+    assert isinstance(stmts[0].value.target, ast.ThisRef)
+
+
+def test_null_true_false_literals():
+    stmts = parse_method_body("a = null; b = true; c = false;")
+    assert stmts[0].value.value is None
+    assert stmts[1].value.value is True
+    assert stmts[2].value.value is False
+
+
+def test_parse_error_on_garbage():
+    with pytest.raises(ParseError):
+        parse("class C { void m() { x = ; } }")
+
+
+def test_parse_error_reports_position():
+    with pytest.raises(ParseError) as exc:
+        parse("class C {\n  void m() { ! }\n}")
+    assert exc.value.line == 2

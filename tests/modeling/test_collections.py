@@ -1,0 +1,138 @@
+"""Constant-key dictionary model tests (paper §4.2.1)."""
+
+from repro.ir import Call, Load, Select, Store
+from repro.modeling import prepare, ModelOptions
+
+
+def doget(prepared, cls="C"):
+    return prepared.program.lookup_method(f"{cls}.doGet/2")
+
+
+def build(body):
+    source = f"""
+class C extends HttpServlet {{
+  void doGet(HttpServletRequest req, HttpServletResponse resp) {{
+{body}
+  }}
+}}"""
+    return prepare([source])
+
+
+def test_constant_put_becomes_field_store():
+    prepared = build("""
+    HashMap m = new HashMap();
+    m.put("key", req.getParameter("p"));""")
+    stores = [i for i in doget(prepared).instructions()
+              if isinstance(i, Store) and i.fld == "@key:key"]
+    assert len(stores) == 1
+
+
+def test_constant_get_reads_key_and_wildcard():
+    prepared = build("""
+    HashMap m = new HashMap();
+    Object o = m.get("key");""")
+    loads = [i for i in doget(prepared).instructions()
+             if isinstance(i, Load) and i.fld.startswith("@key:")]
+    fields = {l.fld for l in loads}
+    assert fields == {"@key:key", "@key:?"}
+    selects = [i for i in doget(prepared).instructions()
+               if isinstance(i, Select)]
+    assert len(selects) == 1
+
+
+def test_unknown_key_put_uses_wildcard():
+    prepared = build("""
+    HashMap m = new HashMap();
+    String k = req.getParameter("which");
+    m.put(k, req.getParameter("p"));""")
+    stores = [i for i in doget(prepared).instructions()
+              if isinstance(i, Store) and i.fld == "@key:?"]
+    assert stores
+
+
+def test_unknown_key_get_selects_over_known_universe():
+    prepared = build("""
+    HashMap m = new HashMap();
+    m.put("alpha", req.getParameter("a"));
+    String k = req.getParameter("which");
+    Object o = m.get(k);""")
+    loads = {i.fld for i in doget(prepared).instructions()
+             if isinstance(i, Load) and i.fld.startswith("@key:")}
+    assert "@key:alpha" in loads and "@key:?" in loads
+
+
+def test_session_attributes_modeled():
+    prepared = build("""
+    HttpSession s = req.getSession();
+    s.setAttribute("a", req.getParameter("p"));
+    Object o = s.getAttribute("a");""")
+    stores = [i for i in doget(prepared).instructions()
+              if isinstance(i, Store) and i.fld == "@key:a"]
+    assert stores
+
+
+def test_session_and_map_key_universes_are_separate():
+    prepared = build("""
+    HttpSession s = req.getSession();
+    s.setAttribute("sessiononly", req.getParameter("p"));
+    HashMap m = new HashMap();
+    String k = req.getParameter("which");
+    Object o = m.get(k);""")
+    # The wildcard map get must not read the session-only key.
+    loads = {i.fld for i in doget(prepared).instructions()
+             if isinstance(i, Load)}
+    assert "@key:sessiononly" not in loads
+
+
+def test_no_rewrite_when_disabled():
+    source = """
+class C extends HttpServlet {
+  void doGet(HttpServletRequest req, HttpServletResponse resp) {
+    HashMap m = new HashMap();
+    m.put("key", req.getParameter("p"));
+  }
+}"""
+    options = ModelOptions(collections=False)
+    prepared = prepare([source], options=options)
+    calls = [i for i in doget(prepared).instructions()
+             if isinstance(i, Call) and i.method_name == "put"]
+    assert calls, "put remains a call into the real HashMap body"
+
+
+def test_real_collection_bodies_still_flow_when_disabled():
+    """Ablation: without the dictionary model, flow goes through the
+    model library's real HashMap implementation."""
+    from repro import TAJ, TAJConfig
+    source = """
+class C extends HttpServlet {
+  void doGet(HttpServletRequest req, HttpServletResponse resp) {
+    HashMap m = new HashMap();
+    m.put("k", req.getParameter("p"));
+    resp.getWriter().println(m.get("k"));
+  }
+}"""
+    config = TAJConfig.hybrid_unbounded()
+    config.models = ModelOptions(collections=False)
+    result = TAJ(config).analyze_sources([source])
+    assert result.issues >= 1
+
+
+def test_collections_model_is_more_precise_than_real_bodies():
+    """With the model, distinct constant keys never conflate; through
+    the real bodies, a single map's entries may."""
+    from repro import TAJ, TAJConfig
+    source = """
+class C extends HttpServlet {
+  void doGet(HttpServletRequest req, HttpServletResponse resp) {
+    HashMap m = new HashMap();
+    m.put("dirty", req.getParameter("p"));
+    m.put("clean", "safe");
+    resp.getWriter().println(m.get("clean"));
+  }
+}"""
+    modeled = TAJ(TAJConfig.hybrid_unbounded()).analyze_sources([source])
+    assert modeled.issues == 0
+    config = TAJConfig.hybrid_unbounded()
+    config.models = ModelOptions(collections=False)
+    raw = TAJ(config).analyze_sources([source])
+    assert raw.issues >= modeled.issues

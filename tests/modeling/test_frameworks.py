@@ -1,0 +1,156 @@
+"""Framework modeling tests: entrypoints, Struts, EJB (paper §4.2.2)."""
+
+from repro import TAJ, TAJConfig
+from repro.ir import Call, New
+from repro.modeling import ModelOptions, prepare
+
+
+def test_servlet_root_synthesized():
+    prepared = prepare(["""
+class MyServlet extends HttpServlet {
+  void doGet(HttpServletRequest req, HttpServletResponse resp) { }
+}"""])
+    assert "$Root$MyServlet.dispatch/0" in prepared.program.entrypoints
+    root = prepared.program.lookup_method("$Root$MyServlet.dispatch/0")
+    assert root is not None and root.is_synthetic
+
+
+def test_dopost_also_dispatched():
+    prepared = prepare(["""
+class S extends HttpServlet {
+  void doGet(HttpServletRequest req, HttpServletResponse resp) { }
+  void doPost(HttpServletRequest req, HttpServletResponse resp) { }
+}"""])
+    root = prepared.program.lookup_method("$Root$S.dispatch/0")
+    names = {i.method_name for i in root.instructions()
+             if isinstance(i, Call)}
+    assert {"doGet", "doPost"} <= names
+
+
+def test_main_entrypoint_gets_tainted_args():
+    prepared = prepare(["""
+class Tool {
+  static void main(String[] args) { }
+}"""])
+    assert any(e.startswith("$Root$ToolMain") for e in
+               prepared.program.entrypoints)
+    root = prepared.program.lookup_method("$Root$ToolMain.dispatch/0")
+    sources = [i for i in root.instructions()
+               if isinstance(i, Call) and i.method_name == "source"]
+    assert sources
+
+
+def test_struts_action_root_with_cast_constrained_form():
+    prepared = prepare(["""
+class UserForm extends ActionForm {
+  String name;
+}
+class OtherForm extends ActionForm {
+  String other;
+}
+class MyAction extends Action {
+  ActionForward execute(ActionMapping mapping, ActionForm form,
+                        HttpServletRequest req, HttpServletResponse resp) {
+    UserForm f = (UserForm) form;
+    return null;
+  }
+}"""])
+    root = prepared.program.lookup_method("$Root$MyAction.dispatch/0")
+    allocated = {i.class_name for i in root.instructions()
+                 if isinstance(i, New)}
+    assert "UserForm" in allocated
+    assert "OtherForm" not in allocated  # cast constrains the form type
+
+
+def test_struts_action_without_cast_gets_all_forms():
+    prepared = prepare(["""
+class FormA extends ActionForm { String a; }
+class FormB extends ActionForm { String b; }
+class AnyAction extends Action {
+  ActionForward execute(ActionMapping mapping, ActionForm form,
+                        HttpServletRequest req, HttpServletResponse resp) {
+    return null;
+  }
+}"""])
+    root = prepared.program.lookup_method("$Root$AnyAction.dispatch/0")
+    allocated = {i.class_name for i in root.instructions()
+                 if isinstance(i, New)}
+    assert {"FormA", "FormB"} <= allocated
+
+
+def test_struts_form_fields_tainted_recursively():
+    source = """
+class Address { String city; }
+class NestedForm extends ActionForm {
+  String name;
+  Address address;
+}
+class NestedAction extends Action {
+  ActionForward execute(ActionMapping mapping, ActionForm form,
+                        HttpServletRequest req, HttpServletResponse resp) {
+    NestedForm f = (NestedForm) form;
+    resp.getWriter().println(f.address.city);
+    return null;
+  }
+}"""
+    result = TAJ(TAJConfig.hybrid_unbounded()).analyze_sources([source])
+    assert result.issues == 1  # nested field is tainted too
+
+
+def test_ejb_lookup_resolved_via_descriptor():
+    descriptor = {"java:comp/env/ejb/Thing": "ThingBean"}
+    prepared = prepare(["""
+class ThingBean {
+  String poke(String v) { return v; }
+}
+class S extends HttpServlet {
+  void doGet(HttpServletRequest req, HttpServletResponse resp) {
+    InitialContext ctx = new InitialContext();
+    Object ref = ctx.lookup("java:comp/env/ejb/Thing");
+    Object home = PortableRemoteObject.narrow(ref, "ThingHome");
+    ThingBean bean = (ThingBean) home.create();
+    resp.getWriter().println(bean.poke(req.getParameter("p")));
+  }
+}"""], deployment_descriptor=descriptor)
+    assert prepared.stats.get("ejb_calls_resolved") == 1
+    assert prepared.program.get_class("$EJBHome$ThingBean") is not None
+
+
+def test_ejb_without_descriptor_left_conservative():
+    prepared = prepare(["""
+class S extends HttpServlet {
+  void doGet(HttpServletRequest req, HttpServletResponse resp) {
+    InitialContext ctx = new InitialContext();
+    Object ref = ctx.lookup("java:comp/env/ejb/Unknown");
+  }
+}"""], deployment_descriptor={"other": "X"})
+    assert prepared.stats.get("ejb_calls_resolved") == 0
+
+
+def test_exception_model_inserts_source_and_store():
+    prepared = prepare(["""
+class S extends HttpServlet {
+  void doGet(HttpServletRequest req, HttpServletResponse resp) {
+    try { int x = 1; } catch (Exception e) { int y = 2; }
+  }
+}"""])
+    assert prepared.stats["exception_sources"] == 1
+    method = prepared.program.lookup_method("S.doGet/2")
+    calls = [i for i in method.instructions()
+             if isinstance(i, Call) and i.method_name == "getMessage"]
+    assert calls
+
+
+def test_exception_model_skips_library_code():
+    options = ModelOptions()
+    prepared = prepare([], options=options)
+    # The model library itself contains no synthetic exception sources.
+    assert prepared.stats["exception_sources"] == 0
+
+
+def test_frameworks_can_be_disabled():
+    prepared = prepare(["""
+class S extends HttpServlet {
+  void doGet(HttpServletRequest req, HttpServletResponse resp) { }
+}"""], options=ModelOptions(frameworks=False))
+    assert not prepared.program.entrypoints

@@ -1,0 +1,122 @@
+"""Native-summary tests (paper §4.2.3)."""
+
+from repro import TAJ, TAJConfig
+from repro.modeling import NativeSummaries, default_natives
+from repro.modeling.natives import returns_arg, returns_new
+
+
+def analyze(source):
+    return TAJ(TAJConfig.hybrid_unbounded()).analyze_sources([source])
+
+
+def test_registry_handles():
+    natives = default_natives()
+    assert natives.handles("Thread.start")
+    assert natives.handles("AccessController.doPrivileged")
+    assert natives.handles("PortableRemoteObject.narrow")
+    assert not natives.handles("No.suchMethod")
+
+
+def test_custom_registration():
+    natives = NativeSummaries()
+    natives.register("A.b", returns_new("C"))
+    assert natives.handles("A.b")
+
+
+def test_get_session_returns_fresh_session():
+    result = analyze("""
+class S extends HttpServlet {
+  void doGet(HttpServletRequest req, HttpServletResponse resp) {
+    HttpSession s = req.getSession();
+    s.setAttribute("k", req.getParameter("p"));
+    resp.getWriter().println(s.getAttribute("k"));
+  }
+}""")
+    assert result.issues == 1
+
+
+def test_get_writer_plumbs_through_response_model():
+    result = analyze("""
+class S extends HttpServlet {
+  void doGet(HttpServletRequest req, HttpServletResponse resp) {
+    PrintWriter w = resp.getWriter();
+    w.println(req.getParameter("p"));
+  }
+}""")
+    assert result.issues == 1
+
+
+def test_cookies_array_summary():
+    result = analyze("""
+class S extends HttpServlet {
+  void doGet(HttpServletRequest req, HttpServletResponse resp) {
+    Cookie[] cs = req.getCookies();
+    Cookie c = cs[0];
+    resp.getWriter().println(c.getValue());
+  }
+}""")
+    assert result.issues == 1
+
+
+def test_thread_start_dispatches_run():
+    result = analyze("""
+class Task implements Runnable {
+  HttpServletResponse resp;
+  HttpServletRequest req;
+  Task(HttpServletRequest q, HttpServletResponse r) {
+    this.req = q;
+    this.resp = r;
+  }
+  public void run() {
+    this.resp.getWriter().println(this.req.getParameter("p"));
+  }
+}
+class S extends HttpServlet {
+  void doGet(HttpServletRequest req, HttpServletResponse resp) {
+    Thread t = new Thread(new Task(req, resp));
+    t.start();
+  }
+}""")
+    assert result.issues == 1
+
+
+def test_do_privileged_dispatches_action_run():
+    result = analyze("""
+class Fetch implements PrivilegedAction {
+  HttpServletRequest req;
+  Fetch(HttpServletRequest r) { this.req = r; }
+  public Object run() { return this.req.getParameter("p"); }
+}
+class S extends HttpServlet {
+  void doGet(HttpServletRequest req, HttpServletResponse resp) {
+    Object v = AccessController.doPrivileged(new Fetch(req));
+    resp.getWriter().println(v);
+  }
+}""")
+    assert result.issues == 1
+
+
+def test_narrow_returns_argument():
+    result = analyze("""
+class Box { String inner; Box(String v) { this.inner = v; } }
+class S extends HttpServlet {
+  void doGet(HttpServletRequest req, HttpServletResponse resp) {
+    Box b = new Box(req.getParameter("p"));
+    Object o = PortableRemoteObject.narrow(b, "Whatever");
+    resp.getWriter().println(o);
+  }
+}""")
+    assert result.issues == 1  # carrier survives the narrow()
+
+
+def test_jdbc_factories_produce_distinct_statements():
+    result = analyze("""
+class S extends HttpServlet {
+  void doGet(HttpServletRequest req, HttpServletResponse resp) {
+    Connection c = DriverManager.getConnection("db");
+    Statement st = c.createStatement();
+    st.executeQuery("SELECT " + req.getParameter("p"));
+  }
+}""")
+    assert result.issues == 1
+    assert {i.rule for i in result.report.issues} == {"SQLI"}

@@ -1,0 +1,159 @@
+"""Reflection-resolution tests (paper §4.2.3)."""
+
+from repro.ir import Call, New, Select
+from repro.modeling import prepare, ModelOptions
+
+
+def build(source):
+    return prepare([source])
+
+
+def method_instrs(prepared, qname):
+    return list(prepared.program.lookup_method(qname).instructions())
+
+
+def direct_calls(prepared, qname, name):
+    return [i for i in method_instrs(prepared, qname)
+            if isinstance(i, Call) and i.method_name == name]
+
+
+def test_constant_forname_invoke_resolved():
+    prepared = build("""
+class Target {
+  public String render(String v) { return v; }
+}
+class C extends HttpServlet {
+  void doGet(HttpServletRequest req, HttpServletResponse resp) {
+    Target t = new Target();
+    Class k = Class.forName("Target");
+    Method m = k.getMethod("render");
+    Object out = m.invoke(t, new Object[] { req.getParameter("p") });
+  }
+}""")
+    assert prepared.stats["reflective_calls_resolved"] == 1
+    assert direct_calls(prepared, "C.doGet/2", "render")
+    assert not direct_calls(prepared, "C.doGet/2", "invoke")
+
+
+def test_getmethods_loop_with_name_filter():
+    prepared = build("""
+class Target {
+  public String wanted(String v) { return v; }
+  public String other(String v) { return "x"; }
+}
+class C extends HttpServlet {
+  void doGet(HttpServletRequest req, HttpServletResponse resp) {
+    Target t = new Target();
+    Class k = Class.forName("Target");
+    Method[] ms = k.getMethods();
+    Method m = null;
+    for (int i = 0; i < 4; i++) {
+      Method cand = ms[i];
+      if (cand.getName().equals("wanted")) { m = cand; break; }
+    }
+    Object out = m.invoke(t, new Object[] { req.getParameter("p") });
+  }
+}""")
+    assert direct_calls(prepared, "C.doGet/2", "wanted")
+    assert not direct_calls(prepared, "C.doGet/2", "other")
+
+
+def test_unfiltered_invoke_calls_all_arity_matching_methods():
+    prepared = build("""
+class Target {
+  public String a(String v) { return v; }
+  public String b(String v) { return v; }
+  public String two(String v, String w) { return v; }
+}
+class C extends HttpServlet {
+  void doGet(HttpServletRequest req, HttpServletResponse resp) {
+    Target t = new Target();
+    Class k = Class.forName("Target");
+    Method[] ms = k.getMethods();
+    Method m = ms[0];
+    Object out = m.invoke(t, new Object[] { req.getParameter("p") });
+  }
+}""")
+    assert direct_calls(prepared, "C.doGet/2", "a")
+    assert direct_calls(prepared, "C.doGet/2", "b")
+    # arity filter: the 1-element argument array excludes two/2
+    assert not direct_calls(prepared, "C.doGet/2", "two")
+    selects = [i for i in method_instrs(prepared, "C.doGet/2")
+               if isinstance(i, Select)]
+    assert selects, "results joined by a Select"
+
+
+def test_newinstance_resolved_to_allocation():
+    prepared = build("""
+class Target {
+  Target() { }
+}
+class C extends HttpServlet {
+  void doGet(HttpServletRequest req, HttpServletResponse resp) {
+    Class k = Class.forName("Target");
+    Object o = k.newInstance();
+  }
+}""")
+    news = [i for i in method_instrs(prepared, "C.doGet/2")
+            if isinstance(i, New) and i.class_name == "Target"]
+    assert news
+
+
+def test_nonconstant_forname_left_conservative():
+    prepared = build("""
+class C extends HttpServlet {
+  void doGet(HttpServletRequest req, HttpServletResponse resp) {
+    Class k = Class.forName(req.getParameter("cls"));
+    Object o = k.newInstance();
+  }
+}""")
+    assert prepared.stats["reflective_calls_resolved"] == 0
+    assert direct_calls(prepared, "C.doGet/2", "newInstance")
+
+
+def test_unknown_class_name_left_conservative():
+    prepared = build("""
+class C extends HttpServlet {
+  void doGet(HttpServletRequest req, HttpServletResponse resp) {
+    Class k = Class.forName("NoSuchClass");
+    Object o = k.newInstance();
+  }
+}""")
+    assert prepared.stats["reflective_calls_resolved"] == 0
+
+
+def test_reflection_model_can_be_disabled():
+    source = """
+class Target {
+  public String render(String v) { return v; }
+}
+class C extends HttpServlet {
+  void doGet(HttpServletRequest req, HttpServletResponse resp) {
+    Target t = new Target();
+    Class k = Class.forName("Target");
+    Method m = k.getMethod("render");
+    Object out = m.invoke(t, new Object[] { "x" });
+  }
+}"""
+    prepared = prepare([source], options=ModelOptions(reflection=False))
+    assert direct_calls(prepared, "C.doGet/2", "invoke")
+
+
+def test_end_to_end_taint_through_reflection():
+    from repro import TAJ, TAJConfig
+    source = """
+class Target {
+  public String render(String v) { return v; }
+}
+class C extends HttpServlet {
+  void doGet(HttpServletRequest req, HttpServletResponse resp) {
+    Target t = new Target();
+    Class k = Class.forName("Target");
+    Method m = k.getMethod("render");
+    String out = (String) m.invoke(t,
+        new Object[] { req.getParameter("p") });
+    resp.getWriter().println(out);
+  }
+}"""
+    result = TAJ(TAJConfig.hybrid_unbounded()).analyze_sources([source])
+    assert result.issues == 1

@@ -1,0 +1,131 @@
+"""String-carrier rewrite tests (paper §4.2.1)."""
+
+from repro.ir import Call, Const, New, StringOp
+from repro.lang import lower_source
+from repro.modeling import load_stdlib
+from repro.modeling.strings import rewrite_method, rewrite_program
+
+
+def build(source):
+    program = load_stdlib()
+    lower_source(source, program)
+    rewrite_program(program)
+    return program
+
+
+def instrs(program, qname):
+    return list(program.lookup_method(qname).instructions())
+
+
+def strops(program, qname):
+    return [i for i in instrs(program, qname) if isinstance(i, StringOp)]
+
+
+def test_virtual_string_method_becomes_strop():
+    program = build("""
+class C {
+  String m(String s) { return s.trim(); }
+}""")
+    ops = strops(program, "C.m/1")
+    assert len(ops) == 1
+    assert ops[0].method == "String.trim"
+    assert ops[0].args[0] == "s"
+
+
+def test_receiver_becomes_value_argument():
+    program = build("""
+class C {
+  String m(String a, String b) { return a.concat(b); }
+}""")
+    op = strops(program, "C.m/2")[0]
+    assert op.args == ["a", "b"]
+
+
+def test_builder_new_and_ctor_rewritten():
+    program = build("""
+class C {
+  String m() {
+    StringBuilder sb = new StringBuilder();
+    return sb.toString();
+  }
+}""")
+    assert not [i for i in instrs(program, "C.m/0")
+                if isinstance(i, New) and
+                i.class_name == "StringBuilder"]
+
+
+def test_builder_append_reassigns_receiver():
+    program = build("""
+class C {
+  String m(String v) {
+    StringBuilder sb = new StringBuilder();
+    sb.append(v);
+    return sb.toString();
+  }
+}""")
+    ops = strops(program, "C.m/1")
+    append = next(o for o in ops if o.method.endswith(".append"))
+    tostr = next(o for o in ops if o.method.endswith(".toString"))
+    # The append result must feed the final toString via the reassigned
+    # receiver variable (checked after SSA in the integration suite; here
+    # we check the local write-back exists).
+    from repro.ir import Assign
+    backs = [i for i in instrs(program, "C.m/1")
+             if isinstance(i, Assign) and i.lhs == "sb"]
+    assert backs, "mutator writes back to the receiver variable"
+
+
+def test_static_valueof_rewritten():
+    program = build("""
+class C {
+  String m(Object o) { return String.valueOf(o); }
+}""")
+    ops = strops(program, "C.m/1")
+    assert ops and ops[0].method == "String.valueOf"
+
+
+def test_non_string_calls_untouched():
+    program = build("""
+class D { D self() { return this; } }
+class C {
+  D m(D d) { return d.self(); }
+}""")
+    assert not strops(program, "C.m/1")
+    calls = [i for i in instrs(program, "C.m/1") if isinstance(i, Call)]
+    assert calls
+
+
+def test_tostring_on_non_carrier_untouched():
+    program = build("""
+class D { public String toString() { return "d"; } }
+class C {
+  String m(D d) { return d.toString(); }
+}""")
+    assert not strops(program, "C.m/1")
+
+
+def test_sanitizer_calls_stay_calls():
+    """URLEncoder.encode is a static sanitizer on a non-carrier class:
+    it must remain a Call for rule matching."""
+    program = build("""
+class C {
+  String m(String s) { return URLEncoder.encode(s); }
+}""")
+    calls = [i for i in instrs(program, "C.m/1") if isinstance(i, Call)]
+    assert any(c.method_name == "encode" for c in calls)
+
+
+def test_rewrite_method_returns_count():
+    program = load_stdlib()
+    lower_source("""
+class C {
+  String m(String s) { return s.trim().toUpperCase(); }
+}""", program)
+    count = rewrite_method(program.lookup_method("C.m/1"))
+    assert count == 2
+
+
+def test_native_methods_skipped():
+    program = load_stdlib()
+    method = program.lookup_method("String.trim/0")
+    assert rewrite_method(method) == 0

@@ -1,0 +1,84 @@
+"""Property-based tests over analysis invariants.
+
+A tiny servlet generator produces random mixes of tainted/sanitized/
+benign flows; the generated ground truth lets us assert soundness and
+relative-precision invariants for the three slicing strategies.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro import TAJ, TAJConfig
+
+PATTERNS = {
+    # pattern id -> (body template, is real flow)
+    "direct": ('resp.getWriter().println(req.getParameter("p{i}"));',
+               True),
+    "string": ('String v{i} = req.getParameter("p{i}").trim();\n'
+               '    resp.getWriter().println(v{i});', True),
+    "sanitized": ('resp.getWriter().println('
+                  'URLEncoder.encode(req.getParameter("p{i}")));', False),
+    "constant": ('resp.getWriter().println("banner{i}");', False),
+    "map_hit": ('HashMap m{i} = new HashMap();\n'
+                '    m{i}.put("k", req.getParameter("p{i}"));\n'
+                '    resp.getWriter().println(m{i}.get("k"));', True),
+    "map_miss": ('HashMap m{i} = new HashMap();\n'
+                 '    m{i}.put("k", req.getParameter("p{i}"));\n'
+                 '    resp.getWriter().println(m{i}.get("other"));',
+                 False),
+}
+
+
+def build_source(choices):
+    methods = []
+    calls = []
+    for i, pattern in enumerate(choices):
+        body, _ = PATTERNS[pattern]
+        methods.append(f"""
+  void flow{i}(HttpServletRequest req, HttpServletResponse resp) {{
+    {body.format(i=i)}
+  }}""")
+        calls.append(f"    this.flow{i}(req, resp);")
+    return f"""
+class P extends HttpServlet {{
+  void doGet(HttpServletRequest req, HttpServletResponse resp) {{
+{chr(10).join(calls)}
+  }}
+{''.join(methods)}
+}}"""
+
+
+def expected_count(choices):
+    return sum(1 for c in choices if PATTERNS[c][1])
+
+
+choice_lists = st.lists(st.sampled_from(sorted(PATTERNS)), min_size=1,
+                        max_size=5)
+
+
+@given(choice_lists)
+@settings(max_examples=25, deadline=None)
+def test_hybrid_matches_ground_truth_exactly(choices):
+    source = build_source(choices)
+    result = TAJ(TAJConfig.hybrid_unbounded()).analyze_sources([source])
+    xss = [i for i in result.report.issues if i.rule == "XSS"]
+    assert len(xss) == expected_count(choices)
+
+
+@given(choice_lists)
+@settings(max_examples=15, deadline=None)
+def test_ci_is_sound_superset_of_hybrid(choices):
+    source = build_source(choices)
+    hybrid = TAJ(TAJConfig.hybrid_unbounded()).analyze_sources([source])
+    ci = TAJ(TAJConfig.ci()).analyze_sources([source])
+    hybrid_sinks = {i.sink for i in hybrid.report.issues}
+    ci_sinks = {i.sink for i in ci.report.issues}
+    assert hybrid_sinks <= ci_sinks
+
+
+@given(choice_lists)
+@settings(max_examples=10, deadline=None)
+def test_report_issue_count_never_exceeds_raw_flows(choices):
+    source = build_source(choices)
+    result = TAJ(TAJConfig.hybrid_unbounded()).analyze_sources([source])
+    assert result.issues <= max(result.raw_flows, result.issues)
+    assert result.report.raw_flow_count == result.raw_flows

@@ -1,0 +1,98 @@
+"""Differential testing: dynamic execution vs the static strategies.
+
+For randomly composed servlets we check the soundness lattice
+
+    dynamically-confirmed  ⊆  hybrid findings  ⊆  CI findings
+
+— the strongest cross-validation in the repository: any violation means
+either the interpreter realizes a flow the static analysis misses
+(static unsoundness) or CI misses something hybrid finds (broken
+baseline ordering).
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro import TAJ, TAJConfig
+from repro.interp import run_dynamic
+
+SNIPPETS = {
+    "direct": '    resp.getWriter().println(req.getParameter("p{i}"));',
+    "sanitized": ('    resp.getWriter().println('
+                  'URLEncoder.encode(req.getParameter("p{i}")));'),
+    "concat": ('    String v{i} = "a" + req.getParameter("p{i}");\n'
+               '    resp.getWriter().println(v{i});'),
+    "heap": ('    Box{i} b{i} = new Box{i}();\n'
+             '    b{i}.v = req.getParameter("p{i}");\n'
+             '    resp.getWriter().println(b{i}.v);'),
+    "carrier": ('    Box{i} b{i} = new Box{i}();\n'
+                '    b{i}.v = req.getParameter("p{i}");\n'
+                '    resp.getWriter().println(b{i});'),
+    "helper": ('    resp.getWriter().println('
+               'Util{i}.pass(req.getParameter("p{i}")));'),
+    "constant": '    resp.getWriter().println("static{i}");',
+    "map": ('    HashMap m{i} = new HashMap();\n'
+            '    m{i}.put("k", req.getParameter("p{i}"));\n'
+            '    resp.getWriter().println(m{i}.get("k"));'),
+}
+NEEDS_BOX = {"heap", "carrier"}
+NEEDS_UTIL = {"helper"}
+
+
+def build_source(choices):
+    aux = []
+    methods = []
+    calls = []
+    for i, kind in enumerate(choices):
+        if kind in NEEDS_BOX:
+            aux.append(f"class Box{i} {{ String v; }}")
+        if kind in NEEDS_UTIL:
+            aux.append(f"class Util{i} {{ static String pass(String v) "
+                       f"{{ return v; }} }}")
+        methods.append(f"""
+  void flow{i}(HttpServletRequest req, HttpServletResponse resp) {{
+{SNIPPETS[kind].format(i=i)}
+  }}""")
+        calls.append(f"    this.flow{i}(req, resp);")
+    return "\n".join(aux) + f"""
+class D extends HttpServlet {{
+  void doGet(HttpServletRequest req, HttpServletResponse resp) {{
+{chr(10).join(calls)}
+  }}
+{''.join(methods)}
+}}"""
+
+
+choice_lists = st.lists(st.sampled_from(sorted(SNIPPETS)), min_size=1,
+                        max_size=4)
+
+
+def sink_methods(result):
+    return {i.sink.split("@")[0] for i in result.report.issues}
+
+
+@given(choice_lists)
+@settings(max_examples=15, deadline=None)
+def test_soundness_lattice(choices):
+    source = build_source(choices)
+    summary = run_dynamic([source])
+    dynamic = {w.sink_method for w in summary.witnesses
+               if summary.confirms("XSS", w.sink_method)}
+    hybrid = sink_methods(
+        TAJ(TAJConfig.hybrid_unbounded()).analyze_sources([source]))
+    ci = sink_methods(TAJ(TAJConfig.ci()).analyze_sources([source]))
+    assert dynamic <= hybrid, (choices, dynamic - hybrid)
+    assert hybrid <= ci, (choices, hybrid - ci)
+
+
+@given(choice_lists)
+@settings(max_examples=10, deadline=None)
+def test_hybrid_is_exact_on_these_patterns(choices):
+    """On this pattern pool the hybrid analysis is both sound and
+    complete: its finding set equals the dynamically-confirmed set."""
+    source = build_source(choices)
+    summary = run_dynamic([source])
+    dynamic = {w.sink_method for w in summary.witnesses
+               if summary.confirms("XSS", w.sink_method)}
+    hybrid = sink_methods(
+        TAJ(TAJConfig.hybrid_unbounded()).analyze_sources([source]))
+    assert dynamic == hybrid, (choices, dynamic, hybrid)

@@ -1,0 +1,73 @@
+"""Property-based tests for the lexer."""
+
+import string
+
+from hypothesis import given, settings, strategies as st
+
+from repro.lang import LexError, tokenize
+from repro.lang.lexer import KEYWORDS
+
+identifiers = st.from_regex(r"[A-Za-z_$][A-Za-z0-9_$]{0,10}",
+                            fullmatch=True).filter(
+                                lambda s: s not in KEYWORDS)
+numbers = st.integers(min_value=0, max_value=10 ** 9).map(str)
+string_bodies = st.text(
+    alphabet=st.characters(
+        codec="ascii", exclude_characters='"\\\n\r'),
+    max_size=20)
+
+
+@given(identifiers)
+def test_identifier_round_trips(name):
+    toks = tokenize(name)
+    assert toks[0].kind == "id"
+    assert toks[0].text == name
+    assert toks[1].kind == "eof"
+
+
+@given(numbers)
+def test_number_round_trips(text):
+    toks = tokenize(text)
+    assert toks[0].kind == "int"
+    assert toks[0].text == text
+
+
+@given(string_bodies)
+def test_string_literal_round_trips(body):
+    toks = tokenize(f'"{body}"')
+    assert toks[0].kind == "string"
+    assert toks[0].text == body
+
+
+@given(st.lists(identifiers, min_size=1, max_size=8))
+def test_whitespace_variations_do_not_change_tokens(names):
+    tight = " ".join(names)
+    loose = "\n\t ".join(names)
+    assert [t.text for t in tokenize(tight)] == \
+        [t.text for t in tokenize(loose)]
+
+
+@given(st.text(alphabet=string.printable, max_size=40))
+@settings(max_examples=200)
+def test_lexer_terminates_on_arbitrary_input(text):
+    """The lexer either tokenizes or raises LexError — never hangs or
+    crashes with an unexpected exception.  (Regression: identifiers at
+    EOF used to loop forever.)"""
+    try:
+        toks = tokenize(text)
+        assert toks[-1].kind == "eof"
+    except LexError:
+        pass
+
+
+@given(st.lists(st.sampled_from(sorted(KEYWORDS)), min_size=1,
+                max_size=6))
+def test_keywords_always_lex_as_keywords(words):
+    toks = tokenize(" ".join(words))
+    assert all(t.kind == "kw" for t in toks[:-1])
+
+
+@given(identifiers, identifiers)
+def test_comments_are_invisible(a, b):
+    toks = tokenize(f"{a} /* {b} */ // {b}\n")
+    assert [t.text for t in toks[:-1]] == [a]

@@ -1,0 +1,113 @@
+"""Property-based tests: SSA invariants over generated control flow.
+
+A small program generator produces arbitrary nestings of if/while with
+assignments over a fixed pool of variables; SSA construction must always
+yield single-assignment form with dominating definitions.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.ir import Phi, validate_program
+from repro.lang import lower_source
+from repro.ssa import DominatorTree, to_ssa
+
+VARS = ["a", "b", "c"]
+
+
+@st.composite
+def statements(draw, depth=0):
+    n = draw(st.integers(min_value=1, max_value=3))
+    out = []
+    for _ in range(n):
+        kind = draw(st.sampled_from(
+            ["assign", "assign", "if", "while"] if depth < 2
+            else ["assign"]))
+        if kind == "assign":
+            lhs = draw(st.sampled_from(VARS))
+            rhs = draw(st.sampled_from(VARS + ["1", "2"]))
+            out.append(f"{lhs} = {rhs};")
+        elif kind == "if":
+            cond = draw(st.sampled_from(VARS))
+            then = draw(statements(depth + 1))
+            els = draw(statements(depth + 1))
+            out.append(
+                f"if ({cond} > 0) {{ {' '.join(then)} }} "
+                f"else {{ {' '.join(els)} }}")
+        else:
+            cond = draw(st.sampled_from(VARS))
+            body = draw(statements(depth + 1))
+            out.append(f"while ({cond} > 0) {{ {' '.join(body)} }}")
+    return out
+
+
+def build(stmts):
+    body = " ".join(stmts)
+    source = f"""
+library class Object {{ }}
+class C {{
+  static int m(int a, int b, int c) {{
+    {body}
+    return a;
+  }}
+}}"""
+    program = lower_source(source)
+    method = program.lookup_method("C.m/3")
+    info = to_ssa(method)
+    validate_program(program)
+    return program, method, info
+
+
+@given(statements())
+@settings(max_examples=60, deadline=None)
+def test_single_assignment(stmts):
+    _, method, _ = build(stmts)
+    defs = []
+    for instr in method.instructions():
+        defs.extend(instr.defs())
+    assert len(defs) == len(set(defs))
+
+
+@given(statements())
+@settings(max_examples=60, deadline=None)
+def test_every_use_has_a_def_or_is_entry(stmts):
+    _, method, _ = build(stmts)
+    defined = {"a", "b", "c"}
+    for instr in method.instructions():
+        defined.update(instr.defs())
+    for instr in method.instructions():
+        for use in instr.uses():
+            assert use in defined or use.endswith(".0"), use
+
+
+@given(statements())
+@settings(max_examples=40, deadline=None)
+def test_non_phi_defs_dominate_uses(stmts):
+    _, method, _ = build(stmts)
+    dom = DominatorTree(method)
+    def_block = {}
+    for bid, block in method.blocks.items():
+        for instr in block.instrs:
+            for var in instr.defs():
+                def_block[var] = bid
+    for bid, block in method.blocks.items():
+        for instr in block.instrs:
+            if isinstance(instr, Phi):
+                # Phi operands must be defined in (a dominator of) the
+                # corresponding predecessor.
+                for pred, var in instr.operands.items():
+                    if var in def_block:
+                        assert dom.dominates(def_block[var], pred)
+            else:
+                for use in instr.uses():
+                    if use in def_block:
+                        assert dom.dominates(def_block[use], bid)
+
+
+@given(statements())
+@settings(max_examples=40, deadline=None)
+def test_phi_operand_count_matches_preds(stmts):
+    _, method, _ = build(stmts)
+    for bid, block in method.blocks.items():
+        for instr in block.instrs:
+            if isinstance(instr, Phi):
+                assert set(instr.operands) == set(block.preds)

@@ -1,0 +1,102 @@
+"""LCP grouping tests (paper §5, Figure 3)."""
+
+from repro.reporting import FlowGroup, GroupKey, build_report, group_flows
+from repro.sdg.nodes import StmtRef
+from repro.taint import default_rules
+from repro.taint.flows import TaintFlow
+
+
+def flow(rule="XSS", source=("A.m/0", 1), sink=("A.m/0", 9),
+         lcp=("A.m/0", 5), length=3, carrier=False):
+    return TaintFlow(rule=rule, source=StmtRef(*source),
+                     sink=StmtRef(*sink),
+                     sink_display="PrintWriter.println",
+                     lcp=StmtRef(*lcp), length=length, via_carrier=carrier)
+
+
+def test_flows_with_same_lcp_and_rule_grouped():
+    """Figure 3: p1 and p2 share the LCP (n4) and issue type -> one
+    equivalence class."""
+    p1 = flow(sink=("Lib.n10/0", 1))
+    p2 = flow(sink=("Lib.n11/0", 1))
+    groups = group_flows([p1, p2], default_rules())
+    assert len(groups) == 1
+    assert groups[0].size == 2
+
+
+def test_different_lcp_separates_flows():
+    """Figure 3: p3 and p4 share source and sink but different LCPs."""
+    p3 = flow(lcp=("A.n4/0", 2))
+    p4 = flow(lcp=("A.n3/0", 7))
+    groups = group_flows([p3, p4], default_rules())
+    assert len(groups) == 2
+
+
+def test_different_issue_type_separates_flows():
+    """Figure 3: p4 and p5 share source and LCP but end at sinks of
+    different issue types -> both reported."""
+    p4 = flow(rule="XSS")
+    p5 = flow(rule="SQLI", sink=("A.m/0", 12))
+    groups = group_flows([p4, p5], default_rules())
+    assert len(groups) == 2
+
+
+def test_different_sources_separate():
+    a = flow(source=("A.m/0", 1))
+    b = flow(source=("B.m/0", 1))
+    assert len(group_flows([a, b], default_rules())) == 2
+
+
+def test_representative_is_shortest_member():
+    short = flow(length=2, sink=("A.m/0", 9))
+    long_ = flow(length=9, sink=("A.m/0", 10))
+    groups = group_flows([long_, short], default_rules())
+    assert groups[0].representative is short
+
+
+def test_remediation_comes_from_rule():
+    groups = group_flows([flow(rule="SQLI")], default_rules())
+    assert groups[0].key.remediation == "parameterize-query"
+
+
+def test_empty_input():
+    assert group_flows([], default_rules()) == []
+
+
+def test_build_report_counts():
+    flows = [flow(sink=("Lib.n10/0", 1)), flow(sink=("Lib.n11/0", 1)),
+             flow(rule="SQLI", sink=("A.q/0", 3))]
+    report = build_report(flows, default_rules())
+    assert report.raw_flow_count == 3
+    assert report.count() == 2
+    xss = report.by_rule()["XSS"][0]
+    assert xss.grouped_flows == 2
+
+
+def test_report_issue_fields():
+    report = build_report([flow(carrier=True)], default_rules())
+    issue = report.issues[0]
+    assert issue.rule == "XSS"
+    assert issue.via_carrier
+    assert issue.sink_method == "PrintWriter.println"
+    assert "A.m/0@5" in issue.lcp
+
+
+def test_groups_sorted_deterministically():
+    flows = [flow(rule="SQLI", sink=("B.x/0", 1)),
+             flow(rule="XSS", sink=("A.x/0", 1))]
+    groups = group_flows(flows, default_rules())
+    assert [g.rule for g in groups] == ["SQLI", "XSS"]
+
+
+def test_render_text_mentions_counts():
+    from repro.reporting import render_text
+    report = build_report([flow()], default_rules())
+    text = render_text(report)
+    assert "XSS" in text and "1 issue" in text
+
+
+def test_render_text_empty_report():
+    from repro.reporting import render_text
+    report = build_report([], default_rules())
+    assert "No tainted flows" in render_text(report)

@@ -1,0 +1,185 @@
+"""No-heap SDG (VFG) construction tests."""
+
+from repro.ir import validate_program
+from repro.lang import lower_source
+from repro.pointer import ContextPolicy, PointerAnalysis
+from repro.sdg import Fact, NoHeapSDG, RET
+from repro.ssa import program_to_ssa
+
+LIB = """
+library class Object { }
+library class String { }
+"""
+
+
+def build(source, entry="Main.main/0"):
+    program = lower_source(LIB + source)
+    program.entrypoints.append(entry)
+    program_to_ssa(program)
+    validate_program(program)
+    analysis = PointerAnalysis(program, ContextPolicy())
+    analysis.solve()
+    return program, analysis, NoHeapSDG(program, analysis.call_graph)
+
+
+def test_local_def_use_edges():
+    _, _, sdg = build("""
+class Main {
+  static void main() {
+    Object a = new Object();
+    Object b = a;
+  }
+}""")
+    succs = sdg.succs_of(Fact("Main.main/0", "a.1"))
+    assert any(e.dst == "b.1" for e in succs)
+
+
+def test_load_has_no_local_in_edges():
+    _, _, sdg = build("""
+class Box { Object f; }
+class Main {
+  static void main() {
+    Box box = new Box();
+    Object x = box.f;
+  }
+}""")
+    # No local edge should lead INTO the load's own def: heap reads are
+    # only reachable via direct HSDG edges (base-pointer exclusion).
+    load_lhs = sdg.loads_by_field["f"][0].lhs
+    for fact, edges in sdg.local_succs.items():
+        for edge in edges:
+            assert edge.dst != load_lhs
+
+
+def test_store_indexed_by_value_var():
+    _, _, sdg = build("""
+class Box { Object f; }
+class Main {
+  static void main() {
+    Box box = new Box();
+    Object v = new Object();
+    box.f = v;
+  }
+}""")
+    stores = sdg.stores_using("Main.main/0", "v.1")
+    assert len(stores) == 1
+    assert stores[0].fld == "f"
+
+
+def test_loads_and_stores_indexed_by_field():
+    _, _, sdg = build("""
+class Box { Object f; }
+class Main {
+  static void main() {
+    Box b1 = new Box();
+    b1.f = new Object();
+    Object x = b1.f;
+  }
+}""")
+    assert len(sdg.stores_by_field.get("f", [])) == 1
+    assert len(sdg.loads_by_field.get("f", [])) == 1
+
+
+def test_static_fields_use_composite_field_names():
+    _, _, sdg = build("""
+class Reg { static Object slot; }
+class Main {
+  static void main() {
+    Reg.slot = new Object();
+    Object x = Reg.slot;
+  }
+}""")
+    assert "static:Reg.slot" in sdg.stores_by_field
+    assert "static:Reg.slot" in sdg.loads_by_field
+
+
+def test_return_edge_to_ret_fact():
+    _, _, sdg = build("""
+class Main {
+  static Object make() { Object o = new Object(); return o; }
+  static void main() { Object x = Main.make(); }
+}""")
+    succs = sdg.succs_of(Fact("Main.make/0", "o.1"))
+    assert any(e.dst == RET for e in succs)
+
+
+def test_call_sites_resolved_from_call_graph():
+    _, _, sdg = build("""
+class Helper { Object id(Object o) { return o; } }
+class Main {
+  static void main() {
+    Helper h = new Helper();
+    Object x = h.id(new Object());
+  }
+}""")
+    sites = sdg.call_sites["Main.main/0"]
+    target_lists = [site.targets for site in sites if site.targets]
+    assert ["Helper.id/1"] in target_lists
+
+
+def test_bindings_map_actuals_to_formals():
+    _, _, sdg = build("""
+class Helper { Object id(Object o) { return o; } }
+class Main {
+  static void main() {
+    Helper h = new Helper();
+    Object x = h.id(new Object());
+  }
+}""")
+    site = next(s for s in sdg.call_sites["Main.main/0"]
+                if "Helper.id/1" in s.targets)
+    pairs = dict(sdg.bindings(site, "Helper.id/1"))
+    assert pairs[site.call.receiver] == "this"
+    assert pairs[site.call.args[0]] == "o"
+
+
+def test_return_bindings():
+    _, _, sdg = build("""
+class Helper { Object id(Object o) { return o; } }
+class Main {
+  static void main() {
+    Helper h = new Helper();
+    Object x = h.id(new Object());
+  }
+}""")
+    site = next(s for s in sdg.call_sites["Main.main/0"]
+                if "Helper.id/1" in s.targets)
+    assert sdg.return_bindings(site, "Helper.id/1") == [(RET, site.call.lhs)]
+
+
+def test_callers_of_index():
+    _, _, sdg = build("""
+class Helper { Object id(Object o) { return o; } }
+class Main {
+  static void main() {
+    Helper h = new Helper();
+    Object x = h.id(new Object());
+    Object y = h.id(new Object());
+  }
+}""")
+    assert len(sdg.callers_of["Helper.id/1"]) == 2
+
+
+def test_unreachable_methods_not_indexed():
+    _, _, sdg = build("""
+class Dead { void never() { Object o = new Object(); } }
+class Main {
+  static void main() { }
+}""")
+    assert "Dead.never/0" not in sdg.call_sites
+
+
+def test_arg_uses_include_receiver_position():
+    _, _, sdg = build("""
+class Helper { void take(Object o) { } }
+class Main {
+  static void main() {
+    Helper h = new Helper();
+    Object v = new Object();
+    h.take(v);
+  }
+}""")
+    uses = sdg.calls_using("Main.main/0", "v.1")
+    assert uses and uses[0][1] == [0]
+    recv_uses = sdg.calls_using("Main.main/0", "h.1")
+    assert recv_uses and recv_uses[0][1] == [-1]

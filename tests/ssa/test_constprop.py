@@ -1,0 +1,132 @@
+"""Constant-propagation tests (feeds reflection + dictionary models)."""
+
+from repro.ssa import ConstantValues, to_ssa
+from tests.conftest import lower_mini
+
+
+def constants_for(source, qname="C.m/0"):
+    program = lower_mini(source)
+    method = program.lookup_method(qname)
+    info = to_ssa(method)
+    return method, ConstantValues(method, info)
+
+
+def const_of_local(method, cv, name):
+    """The constant of the highest SSA version of a local."""
+    best = None
+    for var in cv.values:
+        if var == name or var.startswith(name + "."):
+            best = var if best is None or var > best else best
+    # prefer version .1 for straight-line code
+    for var in sorted(cv.values):
+        if var.split(".")[0] == name:
+            best = var
+    return cv.constant_of(best) if best else None
+
+
+def test_string_literal():
+    method, cv = constants_for("""
+class C { static void m() { String s = "key"; } }""")
+    assert const_of_local(method, cv, "s") == "key"
+
+
+def test_string_concat_folds():
+    method, cv = constants_for("""
+class C { static void m() { String s = "a" + "b" + "c"; } }""")
+    assert const_of_local(method, cv, "s") == "abc"
+
+
+def test_int_arithmetic_folds():
+    method, cv = constants_for("""
+class C { static void m() { int x = 2 * 3 + 4; } }""")
+    assert const_of_local(method, cv, "x") == 10
+
+
+def test_copy_propagation():
+    method, cv = constants_for("""
+class C { static void m() { String a = "k"; String b = a; } }""")
+    assert const_of_local(method, cv, "b") == "k"
+
+
+def test_parameter_is_not_constant():
+    method, cv = constants_for("""
+class C { static void m(String p) { String s = p; } }""", "C.m/1")
+    assert const_of_local(method, cv, "s") is None
+
+
+def test_phi_of_same_constant_is_constant():
+    method, cv = constants_for("""
+class C {
+  static void m(int p) {
+    String s = "x";
+    if (p > 0) { s = "x"; }
+    String t = s;
+  }
+}""", "C.m/1")
+    assert const_of_local(method, cv, "t") == "x"
+
+
+def test_phi_of_different_constants_is_bottom():
+    method, cv = constants_for("""
+class C {
+  static void m(int p) {
+    String s = "a";
+    if (p > 0) { s = "b"; }
+    String t = s;
+  }
+}""", "C.m/1")
+    assert const_of_local(method, cv, "t") is None
+
+
+def test_comparison_folds():
+    method, cv = constants_for("""
+class C { static void m() { boolean b = 1 < 2; } }""")
+    assert const_of_local(method, cv, "b") is True
+
+
+def test_division_by_zero_is_bottom():
+    method, cv = constants_for("""
+class C { static void m() { int x = 1 / 0; } }""")
+    assert const_of_local(method, cv, "x") is None
+
+
+def test_cast_preserves_constant():
+    method, cv = constants_for("""
+class C { static void m() { Object o = (Object) "k"; } }""")
+    assert const_of_local(method, cv, "o") == "k"
+
+
+def test_negation_folds():
+    method, cv = constants_for("""
+class C { static void m() { int x = -5; boolean b = !true; } }""")
+    assert const_of_local(method, cv, "x") == -5
+    assert const_of_local(method, cv, "b") is False
+
+
+def test_string_constant_of_rejects_non_strings():
+    method, cv = constants_for("""
+class C { static void m() { int x = 3; } }""")
+    for var in cv.values:
+        if var.split(".")[0] == "x":
+            assert cv.string_constant_of(var) is None
+
+
+def test_call_result_is_not_constant():
+    method, cv = constants_for("""
+class C {
+  static String id() { return "k"; }
+  static void m() { String s = C.id(); }
+}""")
+    assert const_of_local(method, cv, "s") is None
+
+
+def test_loop_carried_variable_not_constant():
+    method, cv = constants_for("""
+class C {
+  static void m(int p) {
+    int x = 0;
+    while (x < p) { x = x + 1; }
+    int y = x;
+  }
+}""", "C.m/1")
+    assert const_of_local(method, cv, "y") is None

@@ -1,0 +1,113 @@
+"""Taint-carrier detection tests (paper §4.1.1)."""
+
+from repro import TAJ, TAJConfig
+
+
+def issues_of(source, config=None):
+    result = TAJ(config or TAJConfig.hybrid_unbounded()) \
+        .analyze_sources([source])
+    return result
+
+
+def test_carrier_detected_through_one_level():
+    result = issues_of("""
+class Box { String v; Box(String v) { this.v = v; } }
+class S extends HttpServlet {
+  void doGet(HttpServletRequest req, HttpServletResponse resp) {
+    resp.getWriter().println(new Box(req.getParameter("p")));
+  }
+}""")
+    assert result.issues == 1
+    assert result.report.issues[0].via_carrier
+
+
+def test_carrier_through_two_levels():
+    result = issues_of("""
+class Inner { String v; }
+class Outer { Inner inner; Outer() { this.inner = new Inner(); } }
+class S extends HttpServlet {
+  void doGet(HttpServletRequest req, HttpServletResponse resp) {
+    Outer o = new Outer();
+    Inner i = o.inner;
+    i.v = req.getParameter("p");
+    resp.getWriter().println(o);
+  }
+}""")
+    assert result.issues == 1
+
+
+def test_unrelated_carrier_not_flagged():
+    result = issues_of("""
+class Box { String v; Box(String v) { this.v = v; } }
+class S extends HttpServlet {
+  void doGet(HttpServletRequest req, HttpServletResponse resp) {
+    Box dirty = new Box(req.getParameter("p"));
+    Box clean = new Box("constant");
+    resp.getWriter().println(clean);
+  }
+}""")
+    assert result.issues == 0
+
+
+def test_carrier_inside_container():
+    """Nested taint: a tainted carrier stored in a list that is printed."""
+    result = issues_of("""
+class Box { String v; Box(String v) { this.v = v; } }
+class S extends HttpServlet {
+  void doGet(HttpServletRequest req, HttpServletResponse resp) {
+    LinkedList items = new LinkedList();
+    items.add(new Box(req.getParameter("p")));
+    resp.getWriter().println(items);
+  }
+}""")
+    assert result.issues == 1
+
+
+def test_depth_bound_cuts_nested_taint():
+    deep = """
+class L2 { String v; }
+class L1 { L2 c; L1() { this.c = new L2(); } }
+class L0 { L1 c; L0() { this.c = new L1(); } }
+class S extends HttpServlet {
+  void doGet(HttpServletRequest req, HttpServletResponse resp) {
+    L0 box = new L0();
+    L1 a = box.c;
+    L2 b = a.c;
+    b.v = req.getParameter("p");
+    resp.getWriter().println(box);
+  }
+}"""
+    unbounded = issues_of(deep)
+    assert unbounded.issues == 1
+    bounded = issues_of(
+        deep, TAJConfig.hybrid_unbounded().with_budget(
+            max_nested_depth=1))
+    assert bounded.issues == 0
+
+
+def test_sanitized_value_in_carrier_not_flagged():
+    result = issues_of("""
+class Box { String v; Box(String v) { this.v = v; } }
+class S extends HttpServlet {
+  void doGet(HttpServletRequest req, HttpServletResponse resp) {
+    Box b = new Box(URLEncoder.encode(req.getParameter("p")));
+    resp.getWriter().println(b);
+  }
+}""")
+    assert result.issues == 0
+
+
+def test_carrier_passed_through_helper_method():
+    result = issues_of("""
+class Box { String v; Box(String v) { this.v = v; } }
+class Render {
+  static void show(HttpServletResponse resp, Box b) {
+    resp.getWriter().println(b);
+  }
+}
+class S extends HttpServlet {
+  void doGet(HttpServletRequest req, HttpServletResponse resp) {
+    Render.show(resp, new Box(req.getParameter("p")));
+  }
+}""")
+    assert result.issues == 1
