@@ -3,8 +3,10 @@
 from .generator import AppGenerator, AppSpec, GeneratedApp, PlantedFlow, \
     generate_app
 from .harness import (RunRecord, SuiteResults, default_configs,
-                      format_figure4, format_table3, run_suite)
-from .micro import MICRO_CASES, MICRO_DESCRIPTORS, MOTIVATING
+                      format_figure4, format_table3, run_suite,
+                      write_bench_json)
+from .micro import (MICRO_CASES, MICRO_DESCRIPTORS, MOTIVATING,
+                    cyclic_stress)
 from .oracle import Score, aggregate, score_run
 from .stats import AppStats, compute_stats, format_table2
 from .suite import (CS_COMPLETES, FIGURE4_APPS, benign_lib_classes,
@@ -14,7 +16,8 @@ __all__ = [
     "AppGenerator", "AppSpec", "AppStats", "CS_COMPLETES",
     "FIGURE4_APPS", "GeneratedApp", "MICRO_CASES", "MICRO_DESCRIPTORS",
     "MOTIVATING", "PlantedFlow", "RunRecord", "Score", "SuiteResults",
-    "aggregate", "benign_lib_classes", "compute_stats", "default_configs",
-    "format_figure4", "format_table2", "format_table3", "generate_app",
-    "generate_suite", "run_suite", "score_run", "suite_specs",
+    "aggregate", "benign_lib_classes", "compute_stats", "cyclic_stress",
+    "default_configs", "format_figure4", "format_table2", "format_table3",
+    "generate_app", "generate_suite", "run_suite", "score_run",
+    "suite_specs", "write_bench_json",
 ]

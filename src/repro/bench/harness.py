@@ -3,6 +3,7 @@ renders the paper's Table 3 and Figure 4 analogues."""
 
 from __future__ import annotations
 
+import json
 from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional
 
@@ -25,6 +26,9 @@ class RunRecord:
     failed: bool
     cg_nodes: int
     score: Score
+    # Pointer-solver kernel counters and phase times for this run
+    # (propagations, cycles_collapsed, time_constraint_solving, ...).
+    solver_stats: Dict[str, float] = field(default_factory=dict)
 
 
 @dataclass
@@ -73,8 +77,20 @@ def run_suite(apps: Optional[Dict[str, GeneratedApp]] = None,
             results.records.append(RunRecord(
                 app=name, config=config.name, issues=result.issues,
                 seconds=result.times.total, failed=result.failed,
-                cg_nodes=result.cg_nodes, score=score))
+                cg_nodes=result.cg_nodes, score=score,
+                solver_stats=result.solver_stats()))
     return results
+
+
+def write_bench_json(path: str, payload: Dict) -> None:
+    """Write a machine-readable benchmark artifact.
+
+    Stable formatting (sorted keys, trailing newline) so committed
+    artifacts like ``BENCH_solver.json`` produce minimal diffs.
+    """
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
 
 
 # -- rendering ----------------------------------------------------------------

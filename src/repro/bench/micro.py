@@ -363,3 +363,39 @@ MICRO_DESCRIPTORS: Dict[str, Dict[str, str]] = {
 
 def all_case_names() -> List[str]:
     return sorted(MICRO_CASES)
+
+
+def cyclic_stress(n_ring: int = 12, n_feeds: int = 30,
+                  depth: int = 5) -> str:
+    """A copy-cycle stress program for the solver kernel benchmarks.
+
+    ``n_ring`` static methods form a call ring whose parameter-passing
+    edges close one large copy cycle in the constraint graph;
+    ``n_feeds`` driver methods each inject a fresh object into the ring
+    at a different entry point.  A solver with online cycle elimination
+    collapses the ring and propagates each injected object once; the
+    seed solver re-propagates it around every ring member.
+    """
+    parts = ["class Payload { int x; }", "class Ring {"]
+    for i in range(n_ring):
+        nxt = (i + 1) % n_ring
+        parts.append(
+            f"  static Object hop{i}(Object v, int d) {{\n"
+            f"    Object out = v;\n"
+            f"    if (d > 0) {{ out = Ring.hop{nxt}(v, d - 1); }}\n"
+            f"    return out;\n  }}")
+    parts.append("}")
+    parts.append("class CyclicDriver extends HttpServlet {")
+    parts.append("  void doGet(HttpServletRequest req, "
+                 "HttpServletResponse resp) {")
+    for j in range(n_feeds):
+        parts.append(f"    CyclicDriver.feed{j}(resp);")
+    parts.append("  }")
+    for j in range(n_feeds):
+        parts.append(
+            f"  static void feed{j}(HttpServletResponse resp) {{\n"
+            f"    Object p = new Payload();\n"
+            f"    Object r = Ring.hop{j % n_ring}(p, {depth});\n"
+            f"    resp.getWriter().println(\"x\");\n  }}")
+    parts.append("}")
+    return "\n".join(parts)

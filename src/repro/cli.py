@@ -52,6 +52,9 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--dynamic", action="store_true",
                         help="also execute the program concretely and "
                              "report tainted sink events")
+    parser.add_argument("--stats", action="store_true",
+                        help="print solver kernel statistics "
+                             "(propagations, cycle merges, phase times)")
     parser.add_argument("--max-cg-nodes", type=int, metavar="N",
                         help="override the call-graph node budget")
     parser.add_argument("--flow-length", type=int, metavar="N",
@@ -104,6 +107,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             "truncated": result.truncated,
             "seconds": round(result.times.total, 4),
         }
+        if args.stats:
+            payload["stats"] = result.solver_stats()
         print(json.dumps(payload, indent=2))
     else:
         print(render_text(result.report,
@@ -113,6 +118,13 @@ def main(argv: Optional[List[str]] = None) -> int:
         elif result.truncated:
             print("\nnote: a bound truncated the analysis "
                   "(results may be incomplete)")
+        if args.stats:
+            print("\nsolver statistics:")
+            for name, value in result.solver_stats().items():
+                if isinstance(value, float):
+                    print(f"  {name:<26} {value:.4f}")
+                else:
+                    print(f"  {name:<26} {value}")
 
     if args.dynamic:
         from .interp import run_dynamic

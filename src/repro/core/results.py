@@ -38,7 +38,18 @@ class TAJResult:
     failed: bool = False          # hard budget failure (paper: CS OOM)
     failure: Optional[str] = None
     truncated: bool = False       # a soft bound trimmed the analysis
-    stats: Dict[str, int] = field(default_factory=dict)
+    # Counters and timings merged from every stage: modeling stats, the
+    # solver's kernel counters (propagations, cycles_collapsed, ...) and
+    # per-phase wall times (time_constraint_adding, ...), taint bounds.
+    stats: Dict[str, float] = field(default_factory=dict)
+
+    def solver_stats(self) -> Dict[str, float]:
+        """The pointer-solver kernel's counters and phase times."""
+        keys = ("propagations", "edges", "nodes_processed",
+                "cycles_collapsed", "keys_merged", "coalesced_deltas",
+                "scc_runs", "time_constraint_adding",
+                "time_constraint_solving")
+        return {k: self.stats[k] for k in keys if k in self.stats}
 
     @property
     def issues(self) -> int:

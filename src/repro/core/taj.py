@@ -111,6 +111,8 @@ class TAJ:
         result.truncated = result.truncated or taint.truncated
         result.stats = dict(prepared.stats)
         result.stats.update(analysis.stats)
+        for phase, seconds in analysis.phase_seconds.items():
+            result.stats[f"time_{phase}"] = seconds
         result.stats["suppressed_by_length"] = taint.suppressed_by_length
         result.stats["state_units"] = taint.state_units
 

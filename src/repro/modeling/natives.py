@@ -14,7 +14,7 @@ from typing import Callable, Dict, Optional
 
 from ..callgraph.graph import CGNode
 from ..ir import Call, Method
-from ..pointer.keys import AllocSite, FieldKey, InstanceKey, LocalKey
+from ..pointer.keys import InstanceKey
 from ..ir import ARRAY_CONTENTS
 
 Handler = Callable[["object", CGNode, Call, Method,
@@ -41,6 +41,12 @@ class NativeSummaries:
 
 
 # -- handler factories ---------------------------------------------------------
+#
+# Handlers build pointer keys through the solver's key factories
+# (``make_alloc`` / ``make_local`` / ``make_field``) rather than the key
+# classes directly: the optimised solver and the preserved seed baseline
+# use different key families, and each solver's tables must only ever
+# hold its own.
 
 def returns_new(class_name: str) -> Handler:
     """Return a fresh object allocated at the call site."""
@@ -48,9 +54,10 @@ def returns_new(class_name: str) -> Handler:
     def handler(solver, caller, call, callee, receiver) -> None:
         if not call.lhs:
             return
-        ikey = InstanceKey(AllocSite(caller.method, call.iid, class_name))
-        solver.add_pts(LocalKey(caller.method, caller.context, call.lhs),
-                       {ikey})
+        ikey = solver.make_alloc(caller.method, call.iid, class_name)
+        solver.add_pts(
+            solver.make_local(caller.method, caller.context, call.lhs),
+            {ikey})
 
     return handler
 
@@ -61,12 +68,12 @@ def returns_new_array_of(elem_class: str) -> Handler:
     def handler(solver, caller, call, callee, receiver) -> None:
         if not call.lhs:
             return
-        arr = InstanceKey(AllocSite(caller.method, call.iid,
-                                    f"{elem_class}[]"))
-        elem = InstanceKey(AllocSite(caller.method, call.iid, elem_class))
-        solver.add_pts(LocalKey(caller.method, caller.context, call.lhs),
-                       {arr})
-        solver.add_pts(FieldKey(arr, ARRAY_CONTENTS), {elem})
+        arr = solver.make_alloc(caller.method, call.iid, f"{elem_class}[]")
+        elem = solver.make_alloc(caller.method, call.iid, elem_class)
+        solver.add_pts(
+            solver.make_local(caller.method, caller.context, call.lhs),
+            {arr})
+        solver.add_pts(solver.make_field(arr, ARRAY_CONTENTS), {elem})
 
     return handler
 
@@ -77,9 +84,10 @@ def returns_arg(index: int) -> Handler:
     def handler(solver, caller, call, callee, receiver) -> None:
         if not call.lhs or index >= len(call.args):
             return
+        make_local = solver.make_local
         solver.add_copy_edge(
-            LocalKey(caller.method, caller.context, call.args[index]),
-            LocalKey(caller.method, caller.context, call.lhs))
+            make_local(caller.method, caller.context, call.args[index]),
+            make_local(caller.method, caller.context, call.lhs))
 
     return handler
 
@@ -87,8 +95,9 @@ def returns_arg(index: int) -> Handler:
 def returns_receiver() -> Handler:
     def handler(solver, caller, call, callee, receiver) -> None:
         if call.lhs and receiver is not None:
-            solver.add_pts(LocalKey(caller.method, caller.context, call.lhs),
-                           {receiver})
+            solver.add_pts(
+                solver.make_local(caller.method, caller.context, call.lhs),
+                {receiver})
 
     return handler
 
@@ -115,15 +124,13 @@ def dispatches_run_on_arg(index: int) -> Handler:
     def handler(solver, caller, call, callee, receiver) -> None:
         if index >= len(call.args):
             return
-        arg_key = LocalKey(caller.method, caller.context, call.args[index])
+        arg_key = solver.make_local(caller.method, caller.context,
+                                    call.args[index])
         synthetic = Call(call.lhs, "virtual", "", "run",
                          call.args[index], [])
         synthetic.iid = call.iid
         # Register a watcher so late-arriving points-to facts dispatch too.
-        solver._call_watch.setdefault(arg_key, []).append(
-            (caller, synthetic))
-        for ikey in set(solver.pts.get(arg_key, ())):
-            solver._dispatch(caller, synthetic, ikey)
+        solver.register_call_watch(arg_key, caller, synthetic)
 
     return handler
 

@@ -1,16 +1,34 @@
 """Context-sensitive Andersen pointer analysis and the heap graph."""
 
-from .contexts import CallSiteContext, Context, EMPTY, ObjContext, truncate
+from .contexts import (CallSiteContext, Context, EMPTY, ObjContext,
+                       clear_context_caches, truncate)
 from .heapgraph import HeapGraph
 from .keys import (AllocSite, FieldKey, InstanceKey, LocalKey, PointerKey,
-                   ReturnKey, StaticFieldKey)
+                   ReturnKey, StaticFieldKey, clear_key_caches)
 from .policy import ContextPolicy, PolicyConfig
 from .ordering import ChaoticOrder, OrderingPolicy
+from .scc import UnionFind, copy_cycles
 from .solver import PointerAnalysis
+from .baseline import SeedPointerAnalysis
 
 __all__ = [
     "AllocSite", "CallSiteContext", "ChaoticOrder", "Context",
     "ContextPolicy", "EMPTY", "FieldKey", "HeapGraph", "InstanceKey",
     "LocalKey", "ObjContext", "OrderingPolicy", "PointerAnalysis",
-    "PointerKey", "PolicyConfig", "ReturnKey", "StaticFieldKey", "truncate",
+    "PointerKey", "PolicyConfig", "ReturnKey", "SeedPointerAnalysis",
+    "StaticFieldKey", "UnionFind", "clear_context_caches",
+    "clear_key_caches", "copy_cycles", "truncate",
 ]
+
+
+def clear_intern_caches() -> None:
+    """Drop every key/context intern table.
+
+    Only safe *between* analyses in a long-running process: keys held by
+    an earlier analysis stop being identical to newly minted ones
+    (structural equality still holds)."""
+    clear_key_caches()
+    clear_context_caches()
+
+
+__all__.append("clear_intern_caches")

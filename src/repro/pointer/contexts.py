@@ -12,50 +12,101 @@ context:
 Contexts nest because instance keys embed their heap context; the
 ``truncate`` helper bounds total nesting so unlimited-depth object
 sensitivity terminates even through recursive data structures.
+
+Contexts are **interned**: constructing a context with the same fields
+returns the same object, so contexts compare and hash *by identity* (the
+default ``object`` semantics) and the solver's dict operations never
+re-hash nested structures.  ``__reduce__`` re-interns on unpickling so
+``pickle``/``copy.deepcopy`` round-trips stay identity-correct.  Depths
+are precomputed at construction time.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Optional, Tuple
+from typing import Dict, Tuple
 
 
-@dataclass(frozen=True)
 class Context:
-    """Base class of all contexts."""
+    """Base class of all contexts; ``Context()`` is the empty context."""
+
+    __slots__ = ("_depth",)
+
+    _instance: "Context" = None
+
+    def __new__(cls) -> "Context":
+        self = cls._instance
+        if self is None:
+            self = object.__new__(cls)
+            object.__setattr__(self, "_depth", 0)
+            cls._instance = self
+        return self
+
+    def __setattr__(self, name: str, value: object) -> None:
+        raise AttributeError(f"{type(self).__name__} is immutable")
 
     def depth(self) -> int:
-        return 0
+        return self._depth
+
+    def __reduce__(self):
+        return (Context, ())
 
     def __str__(self) -> str:
         return "ε"
+
+    def __repr__(self) -> str:
+        return f"<ctx {self}>"
 
 
 EMPTY = Context()
 
 
-@dataclass(frozen=True)
 class ObjContext(Context):
     """Receiver-object sensitivity: context is an instance key."""
 
-    receiver: "object"  # an InstanceKey; typed loosely to avoid a cycle
+    __slots__ = ("receiver",)
 
-    def depth(self) -> int:
-        return 1 + self.receiver.context.depth()  # type: ignore[attr-defined]
+    _interned: Dict[object, "ObjContext"] = {}
+
+    def __new__(cls, receiver: "object") -> "ObjContext":
+        # receiver is an InstanceKey; typed loosely to avoid a cycle.
+        self = cls._interned.get(receiver)
+        if self is None:
+            self = object.__new__(cls)
+            _set = object.__setattr__
+            _set(self, "receiver", receiver)
+            _set(self, "_depth",
+                 1 + receiver.context.depth())  # type: ignore[attr-defined]
+            cls._interned[receiver] = self
+        return self
+
+    def __reduce__(self):
+        return (ObjContext, (self.receiver,))
 
     def __str__(self) -> str:
         return f"obj[{self.receiver}]"
 
 
-@dataclass(frozen=True)
 class CallSiteContext(Context):
     """One level of call-string: the method and call instruction id."""
 
-    caller: str
-    call_iid: int
+    __slots__ = ("caller", "call_iid")
 
-    def depth(self) -> int:
-        return 1
+    _interned: Dict[Tuple[str, int], "CallSiteContext"] = {}
+
+    def __new__(cls, caller: str, call_iid: int) -> "CallSiteContext":
+        key = (caller, call_iid)
+        self = cls._interned.get(key)
+        if self is None:
+            self = object.__new__(cls)
+            _set = object.__setattr__
+            _set(self, "caller", caller)
+            _set(self, "call_iid", call_iid)
+            _set(self, "_depth", 1)
+            cls._interned[key] = self
+        return self
+
+    def __reduce__(self):
+        return (CallSiteContext, (self.caller, self.call_iid))
 
     def __str__(self) -> str:
         return f"cs[{self.caller}@{self.call_iid}]"
@@ -78,3 +129,13 @@ def truncate(context: Context, limit: int) -> Context:
         inner = truncate(receiver.context, limit - 1)  # type: ignore
         return ObjContext(receiver.with_context(inner))  # type: ignore
     return EMPTY
+
+
+def clear_context_caches() -> None:
+    """Drop the intern tables.
+
+    Only safe *between* analyses in a long-running process: contexts are
+    identity-compared, so contexts held from before a clear are never
+    equal to contexts minted after it."""
+    ObjContext._interned.clear()
+    CallSiteContext._interned.clear()

@@ -19,10 +19,13 @@ class HeapGraph:
 
     def __init__(self, analysis: PointerAnalysis) -> None:
         self._fields_of: Dict[InstanceKey, List[FieldKey]] = {}
-        self._pts: Dict[PointerKey, Set[InstanceKey]] = analysis.pts
-        for key in analysis.pts:
+        # iter_pts() also yields keys merged away by the solver's cycle
+        # elimination, so collapsed field keys keep their adjacency.
+        self._pts: Dict[PointerKey, Set[InstanceKey]] = {}
+        for key, pts in analysis.iter_pts():
             if isinstance(key, FieldKey):
                 self._fields_of.setdefault(key.instance, []).append(key)
+                self._pts[key] = pts
 
     def field_keys(self, instance: InstanceKey) -> List[FieldKey]:
         return self._fields_of.get(instance, [])

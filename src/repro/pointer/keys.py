@@ -4,93 +4,213 @@ An *instance key* abstracts a set of runtime objects: an allocation site
 plus a heap context.  A *pointer key* abstracts a set of runtime pointers:
 a context-qualified local, a field of an instance key, a static field, or
 a method return value.
+
+Keys are **interned**: constructing a key with the same fields returns
+the same object, so keys compare and hash *by identity* (the default
+``object`` semantics — no Python-level ``__hash__``/``__eq__`` runs on
+the solver's millions of dict probes).  ``__reduce__`` re-interns on
+unpickling, which keeps ``pickle``/``copy.deepcopy`` round-trips
+identity-correct.  All keys are immutable and carry ``__slots__``.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, replace
-from typing import Tuple
+from typing import Dict, Tuple
 
 from .contexts import Context, EMPTY
 
+_set = object.__setattr__
 
-@dataclass(frozen=True)
-class AllocSite:
+
+class _Interned:
+    """Shared plumbing: frozen attributes, identity hash/eq."""
+
+    __slots__ = ()
+
+    def __setattr__(self, name: str, value: object) -> None:
+        raise AttributeError(f"{type(self).__name__} is immutable")
+
+
+class AllocSite(_Interned):
     """A static allocation site: ``new C`` / array / caught exception."""
 
-    method: str        # qname of the containing method
-    iid: int           # instruction id within the method
-    class_name: str    # allocated class (arrays: "<elem>[]")
+    __slots__ = ("method", "iid", "class_name")
+
+    _interned: Dict[Tuple[str, int, str], "AllocSite"] = {}
+
+    def __new__(cls, method: str, iid: int, class_name: str) -> "AllocSite":
+        key = (method, iid, class_name)
+        self = cls._interned.get(key)
+        if self is None:
+            self = object.__new__(cls)
+            _set(self, "method", method)
+            _set(self, "iid", iid)
+            _set(self, "class_name", class_name)
+            cls._interned[key] = self
+        return self
+
+    def __reduce__(self):
+        return (AllocSite, (self.method, self.iid, self.class_name))
 
     def __str__(self) -> str:
         return f"{self.class_name}@{self.method}:{self.iid}"
 
+    __repr__ = __str__
 
-@dataclass(frozen=True)
-class InstanceKey:
+
+class InstanceKey(_Interned):
     """An abstract object: allocation site + heap context."""
 
-    site: AllocSite
-    context: Context = EMPTY
+    __slots__ = ("site", "context")
+
+    _interned: Dict[Tuple[AllocSite, Context], "InstanceKey"] = {}
+
+    def __new__(cls, site: AllocSite,
+                context: Context = EMPTY) -> "InstanceKey":
+        key = (site, context)
+        self = cls._interned.get(key)
+        if self is None:
+            self = object.__new__(cls)
+            _set(self, "site", site)
+            _set(self, "context", context)
+            cls._interned[key] = self
+        return self
 
     @property
     def class_name(self) -> str:
         return self.site.class_name
 
     def with_context(self, context: Context) -> "InstanceKey":
-        return replace(self, context=context)
+        return InstanceKey(self.site, context)
+
+    def __reduce__(self):
+        return (InstanceKey, (self.site, self.context))
 
     def __str__(self) -> str:
         if self.context is EMPTY:
             return str(self.site)
         return f"{self.site}<{self.context}>"
 
+    __repr__ = __str__
 
-@dataclass(frozen=True)
-class PointerKey:
+
+class PointerKey(_Interned):
     """Base class for pointer keys."""
 
+    __slots__ = ()
 
-@dataclass(frozen=True)
+
 class LocalKey(PointerKey):
     """An SSA local of a method analyzed in a context."""
 
-    method: str
-    context: Context
-    var: str
+    __slots__ = ("method", "context", "var")
+
+    _interned: Dict[Tuple[str, Context, str], "LocalKey"] = {}
+
+    def __new__(cls, method: str, context: Context, var: str) -> "LocalKey":
+        key = (method, context, var)
+        self = cls._interned.get(key)
+        if self is None:
+            self = object.__new__(cls)
+            _set(self, "method", method)
+            _set(self, "context", context)
+            _set(self, "var", var)
+            cls._interned[key] = self
+        return self
+
+    def __reduce__(self):
+        return (LocalKey, (self.method, self.context, self.var))
 
     def __str__(self) -> str:
         return f"{self.method}<{self.context}>::{self.var}"
 
+    __repr__ = __str__
 
-@dataclass(frozen=True)
+
 class FieldKey(PointerKey):
     """A field of an instance key (array contents use ``@elems``)."""
 
-    instance: InstanceKey
-    fld: str
+    __slots__ = ("instance", "fld")
+
+    _interned: Dict[Tuple[InstanceKey, str], "FieldKey"] = {}
+
+    def __new__(cls, instance: InstanceKey, fld: str) -> "FieldKey":
+        key = (instance, fld)
+        self = cls._interned.get(key)
+        if self is None:
+            self = object.__new__(cls)
+            _set(self, "instance", instance)
+            _set(self, "fld", fld)
+            cls._interned[key] = self
+        return self
+
+    def __reduce__(self):
+        return (FieldKey, (self.instance, self.fld))
 
     def __str__(self) -> str:
         return f"{self.instance}.{self.fld}"
 
+    __repr__ = __str__
 
-@dataclass(frozen=True)
+
 class StaticFieldKey(PointerKey):
     """A static field."""
 
-    class_name: str
-    fld: str
+    __slots__ = ("class_name", "fld")
+
+    _interned: Dict[Tuple[str, str], "StaticFieldKey"] = {}
+
+    def __new__(cls, class_name: str, fld: str) -> "StaticFieldKey":
+        key = (class_name, fld)
+        self = cls._interned.get(key)
+        if self is None:
+            self = object.__new__(cls)
+            _set(self, "class_name", class_name)
+            _set(self, "fld", fld)
+            cls._interned[key] = self
+        return self
+
+    def __reduce__(self):
+        return (StaticFieldKey, (self.class_name, self.fld))
 
     def __str__(self) -> str:
         return f"{self.class_name}.{self.fld}"
 
+    __repr__ = __str__
 
-@dataclass(frozen=True)
+
 class ReturnKey(PointerKey):
     """The return value of a method analyzed in a context."""
 
-    method: str
-    context: Context
+    __slots__ = ("method", "context")
+
+    _interned: Dict[Tuple[str, Context], "ReturnKey"] = {}
+
+    def __new__(cls, method: str, context: Context) -> "ReturnKey":
+        key = (method, context)
+        self = cls._interned.get(key)
+        if self is None:
+            self = object.__new__(cls)
+            _set(self, "method", method)
+            _set(self, "context", context)
+            cls._interned[key] = self
+        return self
+
+    def __reduce__(self):
+        return (ReturnKey, (self.method, self.context))
 
     def __str__(self) -> str:
         return f"ret({self.method}<{self.context}>)"
+
+    __repr__ = __str__
+
+
+def clear_key_caches() -> None:
+    """Drop the intern tables.
+
+    Only safe *between* analyses in a long-running process: keys are
+    identity-compared, so keys held from before a clear are never equal
+    to keys minted after it."""
+    for cls in (AllocSite, InstanceKey, LocalKey, FieldKey, StaticFieldKey,
+                ReturnKey):
+        cls._interned.clear()

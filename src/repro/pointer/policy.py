@@ -24,7 +24,8 @@ from dataclasses import dataclass, field
 from typing import Optional, Set
 
 from ..ir import Call, Method
-from .contexts import CallSiteContext, Context, EMPTY, ObjContext, truncate
+from . import contexts as _default_contexts
+from .contexts import Context
 from .keys import InstanceKey
 
 # Default depth cap realizing "unlimited-depth (up to recursion)".
@@ -63,10 +64,20 @@ class PolicyConfig:
 
 
 class ContextPolicy:
-    """Implements the callee-context and heap-context decisions."""
+    """Implements the callee-context and heap-context decisions.
 
-    def __init__(self, config: Optional[PolicyConfig] = None) -> None:
+    ``ctx`` selects the context implementation namespace (any module
+    exposing ``EMPTY``, ``ObjContext``, ``CallSiteContext`` and
+    ``truncate``).  It defaults to the interned classes in
+    :mod:`repro.pointer.contexts`; the seed baseline solver passes
+    :mod:`repro.pointer.seedkeys` so its contexts stay the original
+    dataclasses.
+    """
+
+    def __init__(self, config: Optional[PolicyConfig] = None,
+                 ctx=None) -> None:
         self.config = config or PolicyConfig()
+        self.ctx = ctx or _default_contexts
 
     # -- classification -----------------------------------------------------
 
@@ -88,16 +99,18 @@ class ContextPolicy:
                        receiver: Optional[InstanceKey]) -> Context:
         """Context under which ``callee`` is analyzed for this edge."""
         cfg = self.config
+        ctx = self.ctx
         if cfg.taint_api_call_strings and self.is_taint_api(callee):
-            return CallSiteContext(caller_method, call.iid)
+            return ctx.CallSiteContext(caller_method, call.iid)
         if cfg.factory_call_strings and self.is_factory(callee):
-            return CallSiteContext(caller_method, call.iid)
+            return ctx.CallSiteContext(caller_method, call.iid)
         if receiver is not None and cfg.object_sensitive:
             if cfg.collections_unlimited and \
                     self.is_collection_class(callee.class_name):
-                return truncate(ObjContext(receiver), cfg.collection_depth)
-            return truncate(ObjContext(receiver), MAX_DEPTH)
-        return EMPTY
+                return ctx.truncate(ctx.ObjContext(receiver),
+                                    cfg.collection_depth)
+            return ctx.truncate(ctx.ObjContext(receiver), MAX_DEPTH)
+        return ctx.EMPTY
 
     def heap_context(self, method: Method, context: Context) -> Context:
         """Heap context for allocation sites inside ``method``/``context``.
@@ -106,9 +119,10 @@ class ContextPolicy:
         context (cloned per collection instance / call site); all other
         allocations get a context-insensitive heap.
         """
-        if isinstance(context, CallSiteContext):
+        ctx = self.ctx
+        if isinstance(context, ctx.CallSiteContext):
             return context
         if self.config.collections_unlimited and \
                 self.is_collection_class(method.class_name):
-            return truncate(context, self.config.collection_depth)
-        return EMPTY
+            return ctx.truncate(context, self.config.collection_depth)
+        return ctx.EMPTY

@@ -1,0 +1,154 @@
+"""Online cycle elimination for the constraint graph (solver kernel).
+
+Andersen-style solvers spend most of their time re-propagating identical
+points-to sets around copy-edge cycles: every member of a cycle provably
+converges to the same set, so the cycle can be collapsed to a single
+representative whose set is shared.  This module supplies the two
+ingredients the solver needs:
+
+* :class:`UnionFind` — a union-find structure over pointer keys mapping
+  every key to its current representative (path compression + union by
+  rank).  Keys that were never merged pay a single dict probe.
+* :func:`copy_cycles` — an iterative Tarjan SCC pass over the (already
+  representative-normalized) copy graph, returning only the non-trivial
+  components.
+
+The solver drives these lazily (Nuutila / lazy-cycle-detection style):
+when a propagation re-delivers an identical delta along a copy edge, the
+edge is suspected of lying on a cycle and an SCC pass runs before the
+worklist continues; each discovered cycle is merged into one
+representative.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Hashable, Iterable, List, Mapping, Tuple
+
+Key = Hashable
+
+
+class UnionFind:
+    """Union-find over hashable keys with a sparse parent table.
+
+    Unmerged keys are their own representative and are *not* stored, so
+    ``find`` on the common (acyclic) path is one failed dict probe.
+    """
+
+    def __init__(self) -> None:
+        self._parent: Dict[Key, Key] = {}
+        self._rank: Dict[Key, int] = {}
+
+    def find(self, key: Key) -> Key:
+        parent = self._parent
+        root = parent.get(key)
+        if root is None:
+            return key
+        # Walk to the root, then compress the whole path.
+        while True:
+            nxt = parent.get(root)
+            if nxt is None:
+                break
+            root = nxt
+        while key is not root:
+            nxt = parent[key]
+            parent[key] = root
+            key = nxt
+            if key not in parent:
+                break
+        return root
+
+    def union(self, a: Key, b: Key) -> Tuple[Key, Key]:
+        """Merge the sets of ``a`` and ``b``; returns ``(winner, loser)``
+        roots (``loser is winner`` when already merged)."""
+        ra, rb = self.find(a), self.find(b)
+        if ra == rb:
+            return ra, ra
+        rank = self._rank
+        ka, kb = rank.get(ra, 0), rank.get(rb, 0)
+        if ka < kb:
+            ra, rb = rb, ra
+        elif ka == kb:
+            rank[ra] = ka + 1
+        self._parent[rb] = ra
+        self._rank.pop(rb, None)
+        return ra, rb
+
+    def same(self, a: Key, b: Key) -> bool:
+        return self.find(a) == self.find(b)
+
+    def merged_keys(self) -> Iterable[Key]:
+        """Every key that was merged away (is not its own
+        representative)."""
+        return self._parent.keys()
+
+    def merged_count(self) -> int:
+        return len(self._parent)
+
+
+def copy_cycles(succs: Mapping[Key, Iterable[Key]],
+                find: Callable[[Key], Key],
+                roots: Iterable[Key] = None) -> List[List[Key]]:
+    """Non-trivial strongly connected components of the copy graph.
+
+    ``succs`` maps representative keys to successor iterables whose
+    entries may be stale (merged away); ``find`` normalizes them.
+    ``roots`` restricts the sweep to components reachable from those
+    keys (the solver passes the sources of suspected cycle edges — any
+    cycle through edge ``src -> dst`` is reachable from ``src``);
+    ``None`` sweeps the whole graph.  Iterative Tarjan — constraint
+    graphs routinely exceed Python's recursion limit.
+    """
+    index: Dict[Key, int] = {}
+    lowlink: Dict[Key, int] = {}
+    on_stack: Dict[Key, bool] = {}
+    stack: List[Key] = []
+    sccs: List[List[Key]] = []
+    counter = 0
+
+    for start in (list(succs) if roots is None else roots):
+        start = find(start)
+        if start in index:
+            continue
+        # Each frame: (node, iterator over normalized successors).
+        work: List[Tuple[Key, Iterable[Key]]] = []
+        index[start] = lowlink[start] = counter
+        counter += 1
+        stack.append(start)
+        on_stack[start] = True
+        work.append((start, iter(list(succs.get(start, ())))))
+        while work:
+            node, it = work[-1]
+            advanced = False
+            for raw in it:
+                succ = find(raw)
+                if succ is node:
+                    continue
+                if succ not in index:
+                    index[succ] = lowlink[succ] = counter
+                    counter += 1
+                    stack.append(succ)
+                    on_stack[succ] = True
+                    work.append((succ, iter(list(succs.get(succ, ())))))
+                    advanced = True
+                    break
+                if on_stack.get(succ):
+                    if index[succ] < lowlink[node]:
+                        lowlink[node] = index[succ]
+            if advanced:
+                continue
+            work.pop()
+            if work:
+                parent = work[-1][0]
+                if lowlink[node] < lowlink[parent]:
+                    lowlink[parent] = lowlink[node]
+            if lowlink[node] == index[node]:
+                comp: List[Key] = []
+                while True:
+                    member = stack.pop()
+                    on_stack[member] = False
+                    comp.append(member)
+                    if member is node:
+                        break
+                if len(comp) > 1:
+                    sccs.append(comp)
+    return sccs

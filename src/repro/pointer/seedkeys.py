@@ -1,0 +1,160 @@
+"""The seed's key and context classes, preserved verbatim.
+
+:mod:`repro.pointer.baseline` keeps the repository's original solver as
+a differential/perf baseline.  That solver is only a faithful "before"
+picture if it also keeps the *original data representation*: frozen
+dataclasses whose ``__hash__`` re-hashes the field tuple on every dict
+probe — recursively through nested contexts — and whose ``__eq__``
+compares field by field.  The optimised kernel replaced these with the
+interned, identity-compared classes in :mod:`repro.pointer.keys` /
+:mod:`repro.pointer.contexts`; this module is the pre-optimisation copy.
+
+Do not optimise or dedup this module; that is the point of it.  The
+``__str__`` formats intentionally match the optimised classes so
+differential tests can compare solutions across key families through
+their canonical string forms.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+
+# -- contexts -----------------------------------------------------------------
+
+@dataclass(frozen=True)
+class Context:
+    """Base class of all contexts."""
+
+    def depth(self) -> int:
+        return 0
+
+    def __str__(self) -> str:
+        return "ε"
+
+
+EMPTY = Context()
+
+
+@dataclass(frozen=True)
+class ObjContext(Context):
+    """Receiver-object sensitivity: context is an instance key."""
+
+    receiver: "object"  # an InstanceKey; typed loosely to avoid a cycle
+
+    def depth(self) -> int:
+        return 1 + self.receiver.context.depth()  # type: ignore[attr-defined]
+
+    def __str__(self) -> str:
+        return f"obj[{self.receiver}]"
+
+
+@dataclass(frozen=True)
+class CallSiteContext(Context):
+    """One level of call-string: the method and call instruction id."""
+
+    caller: str
+    call_iid: int
+
+    def depth(self) -> int:
+        return 1
+
+    def __str__(self) -> str:
+        return f"cs[{self.caller}@{self.call_iid}]"
+
+
+def truncate(context: Context, limit: int) -> Context:
+    """Bound nested context depth; beyond ``limit`` collapse to EMPTY."""
+    if limit <= 0:
+        return EMPTY
+    if context.depth() <= limit:
+        return context
+    if isinstance(context, ObjContext):
+        receiver = context.receiver
+        inner = truncate(receiver.context, limit - 1)  # type: ignore
+        return ObjContext(receiver.with_context(inner))  # type: ignore
+    return EMPTY
+
+
+# -- keys ---------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class AllocSite:
+    """A static allocation site: ``new C`` / array / caught exception."""
+
+    method: str        # qname of the containing method
+    iid: int           # instruction id within the method
+    class_name: str    # allocated class (arrays: "<elem>[]")
+
+    def __str__(self) -> str:
+        return f"{self.class_name}@{self.method}:{self.iid}"
+
+
+@dataclass(frozen=True)
+class InstanceKey:
+    """An abstract object: allocation site + heap context."""
+
+    site: AllocSite
+    context: Context = EMPTY
+
+    @property
+    def class_name(self) -> str:
+        return self.site.class_name
+
+    def with_context(self, context: Context) -> "InstanceKey":
+        return replace(self, context=context)
+
+    def __str__(self) -> str:
+        if self.context == EMPTY:
+            return str(self.site)
+        return f"{self.site}<{self.context}>"
+
+
+@dataclass(frozen=True)
+class PointerKey:
+    """Base class for pointer keys."""
+
+
+@dataclass(frozen=True)
+class LocalKey(PointerKey):
+    """An SSA local of a method analyzed in a context."""
+
+    method: str
+    context: Context
+    var: str
+
+    def __str__(self) -> str:
+        return f"{self.method}<{self.context}>::{self.var}"
+
+
+@dataclass(frozen=True)
+class FieldKey(PointerKey):
+    """A field of an instance key (array contents use ``@elems``)."""
+
+    instance: InstanceKey
+    fld: str
+
+    def __str__(self) -> str:
+        return f"{self.instance}.{self.fld}"
+
+
+@dataclass(frozen=True)
+class StaticFieldKey(PointerKey):
+    """A static field."""
+
+    class_name: str
+    fld: str
+
+    def __str__(self) -> str:
+        return f"{self.class_name}.{self.fld}"
+
+
+@dataclass(frozen=True)
+class ReturnKey(PointerKey):
+    """The return value of a method analyzed in a context."""
+
+    method: str
+    context: Context
+
+    def __str__(self) -> str:
+        return f"ret({self.method}<{self.context}>)"

@@ -18,13 +18,29 @@ configurations.
 String values are invisible here: the string-carrier model (§4.2.1) has
 already rewritten string manipulation into primitive ``StringOp``s, so
 strings never pollute points-to sets.
+
+This is the *optimised* kernel; the seed solver it replaced survives in
+:mod:`repro.pointer.baseline` as the differential/perf baseline.  Three
+constraint-graph optimisations (``docs/performance.md``) set the two
+apart:
+
+* **online cycle elimination** — copy-edge cycles are collapsed through
+  the union-find in :mod:`repro.pointer.scc`; every solver structure is
+  keyed by representatives and cycle members share one points-to set;
+* **coalescing worklist** — a key already pending accumulates new facts
+  into its pending-delta set instead of enqueueing another entry, so a
+  key is processed once per drain with its whole accumulated delta (the
+  seed enqueued one frozenset per ``add_pts`` call);
+* **interned keys** — see :mod:`repro.pointer.keys`: identity-compared,
+  hash-precomputed keys make the dict probes this loop lives on cheap.
 """
 
 from __future__ import annotations
 
+import time
 from collections import deque
-from typing import Deque, Dict, FrozenSet, Iterable, List, Optional, Set, \
-    Tuple
+from typing import Deque, Dict, FrozenSet, Iterable, Iterator, List, \
+    Optional, Set, Tuple
 
 from ..bounds import Budget, UNBOUNDED
 from ..callgraph.graph import CallGraph, CGNode
@@ -37,10 +53,18 @@ from .keys import (AllocSite, FieldKey, InstanceKey, LocalKey, PointerKey,
                    ReturnKey, StaticFieldKey)
 from .ordering import ChaoticOrder, OrderingPolicy
 from .policy import ContextPolicy
+from .scc import UnionFind, copy_cycles
+
+_EMPTY_FROZEN: FrozenSet[InstanceKey] = frozenset()
 
 
 class PointerAnalysis:
-    """The solver; results live in ``pts``, ``call_graph``."""
+    """The solver; results live in ``pts``, ``call_graph``.
+
+    ``pts`` is keyed by cycle *representatives*; external callers should
+    go through :meth:`points_to` / :meth:`iter_pts`, which normalize any
+    key through the union-find.
+    """
 
     def __init__(self, program: Program,
                  policy: Optional[ContextPolicy] = None,
@@ -63,9 +87,10 @@ class PointerAnalysis:
         self.call_graph = CallGraph()
         self.truncated = False          # budget cut the analysis short
 
+        # All of the following are keyed by cycle representatives.
         self.pts: Dict[PointerKey, Set[InstanceKey]] = {}
-        self._copy_succs: Dict[PointerKey, List[PointerKey]] = {}
-        self._copy_edge_set: Set[Tuple[PointerKey, PointerKey]] = set()
+        # Copy successors as an insertion-ordered set (dict keys).
+        self._succs: Dict[PointerKey, Dict[PointerKey, None]] = {}
         # base key -> [(field, destination local key)]
         self._load_watch: Dict[PointerKey, List[Tuple[str, PointerKey]]] = {}
         # base key -> [(field, source key)]
@@ -73,10 +98,26 @@ class PointerAnalysis:
         # receiver key -> [(caller node, call instruction)]
         self._call_watch: Dict[PointerKey, List[Tuple[CGNode, Call]]] = {}
         self._dispatched: Set[Tuple[CGNode, int, InstanceKey]] = set()
-        self._worklist: Deque[Tuple[PointerKey, FrozenSet[InstanceKey]]] = \
-            deque()
+        # Coalescing worklist: a key is pending iff it has an entry in
+        # _pending; facts arriving while pending merge into that set.
+        self._pending: Dict[PointerKey, Set[InstanceKey]] = {}
+        self._worklist: Deque[PointerKey] = deque()
+        self._scc = UnionFind()
+        # Lazy cycle detection: sources of copy edges that re-delivered a
+        # fully redundant delta accumulate as suspects; an SCC pass runs
+        # once enough pile up (or when the worklist drains), rooted at
+        # the suspects only — a cycle through a suspect edge is reachable
+        # from that edge's source, so the sweep never has to touch the
+        # rest of the graph.
+        self._suspect_srcs: Dict[PointerKey, None] = {}
+        self._lcd_checked: Set[Tuple[PointerKey, PointerKey]] = set()
         self._processed_nodes: Set[CGNode] = set()
-        self.stats = {"propagations": 0, "edges": 0, "nodes_processed": 0}
+        self.stats = {"propagations": 0, "edges": 0, "nodes_processed": 0,
+                      "cycles_collapsed": 0, "keys_merged": 0,
+                      "coalesced_deltas": 0, "scc_runs": 0}
+        # Wall-clock seconds per solver phase (paper §6.1's alternation).
+        self.phase_seconds = {"constraint_adding": 0.0,
+                              "constraint_solving": 0.0}
 
     # ------------------------------------------------------------------ API
 
@@ -86,6 +127,7 @@ class PointerAnalysis:
             node = self._make_node(qname, EMPTY)
             if node is not None:
                 self.call_graph.entrypoints.append(node)
+        clock = time.perf_counter
         while True:
             if self._budget_met():
                 self.truncated = True
@@ -97,11 +139,32 @@ class PointerAnalysis:
                 continue
             self._processed_nodes.add(node)
             self.stats["nodes_processed"] += 1
+            started = clock()
             self._add_constraints(node)
+            added = clock()
             self._solve_constraints()
+            solved = clock()
+            self.phase_seconds["constraint_adding"] += added - started
+            self.phase_seconds["constraint_solving"] += solved - added
+        # Residual suspects below the batch threshold: collapse at the
+        # end so discovered cycles are merged in the final solution (a
+        # merge can re-pend owed facts, whose propagation may in turn
+        # raise fresh suspects — each edge is suspected at most once, so
+        # this drains in a bounded number of rounds).
+        while self._suspect_srcs:
+            started = clock()
+            self._collapse_cycles()
+            self._solve_constraints()
+            self.phase_seconds["constraint_solving"] += clock() - started
 
-    def points_to(self, key: PointerKey) -> Set[InstanceKey]:
-        return self.pts.get(key, set())
+    def points_to(self, key: PointerKey) -> FrozenSet[InstanceKey]:
+        """Immutable snapshot of a key's points-to set.
+
+        Returns a *copy*: the live internal set is shared by every
+        member of a collapsed cycle and must not leak to callers.
+        """
+        current = self.pts.get(self._scc.find(key))
+        return frozenset(current) if current else _EMPTY_FROZEN
 
     def points_to_var(self, method: str, var: str,
                       context: Optional[Context] = None) -> Set[InstanceKey]:
@@ -112,6 +175,36 @@ class PointerAnalysis:
         for node in self.call_graph.nodes_of_method(method):
             out |= self.points_to(LocalKey(method, node.context, var))
         return out
+
+    def iter_pts(self) -> Iterator[Tuple[PointerKey, Set[InstanceKey]]]:
+        """(key, points-to set) for every key the solver has seen,
+        including keys merged away by cycle collapsing (they yield their
+        representative's set).  The sets are live internals: read-only."""
+        yield from self.pts.items()
+        find = self._scc.find
+        for key in self._scc.merged_keys():
+            current = self.pts.get(find(key))
+            if current:
+                yield key, current
+
+    def representative(self, key: PointerKey) -> PointerKey:
+        """The key's cycle representative (itself if never merged)."""
+        return self._scc.find(key)
+
+    # Key factories: native-method summaries build keys through these so
+    # every solver's tables only ever hold its own key family (the seed
+    # baseline overrides them with the original dataclass keys).
+
+    def make_alloc(self, method: str, iid: int,
+                   class_name: str) -> InstanceKey:
+        return InstanceKey(AllocSite(method, iid, class_name))
+
+    def make_local(self, method: str, context: Context,
+                   var: str) -> LocalKey:
+        return LocalKey(method, context, var)
+
+    def make_field(self, instance: InstanceKey, fld: str) -> FieldKey:
+        return FieldKey(instance, fld)
 
     # --------------------------------------------------------------- helpers
 
@@ -127,24 +220,56 @@ class PointerAnalysis:
                 self.order.on_node_created(node)
         return node
 
-    def add_pts(self, key: PointerKey, ikeys: Iterable[InstanceKey]) -> None:
-        """Add instance keys to a pointer key, scheduling propagation."""
-        current = self.pts.setdefault(key, set())
-        delta = frozenset(k for k in ikeys if k not in current)
-        if delta:
-            current |= delta
-            self._worklist.append((key, delta))
+    def add_pts(self, key: PointerKey, ikeys: Iterable[InstanceKey]) -> bool:
+        """Add instance keys to a pointer key, scheduling propagation.
+
+        Returns whether anything new arrived (the lazy-cycle-detection
+        trigger).  New facts coalesce into the key's pending-delta set,
+        so a key occupies at most one worklist slot."""
+        key = self._scc.find(key)
+        current = self.pts.get(key)
+        if current is None:
+            current = self.pts[key] = set()
+        new = [k for k in ikeys if k not in current]
+        if not new:
+            return False
+        current.update(new)
+        pending = self._pending.get(key)
+        if pending is None:
+            self._pending[key] = set(new)
+            self._worklist.append(key)
+        else:
+            pending.update(new)
+            self.stats["coalesced_deltas"] += 1
+        return True
 
     def add_copy_edge(self, src: PointerKey, dst: PointerKey) -> None:
         """Add a subset edge src ⊆ dst and flush current contents."""
-        if (src, dst) in self._copy_edge_set or src == dst:
+        find = self._scc.find
+        src, dst = find(src), find(dst)
+        if src is dst:
             return
-        self._copy_edge_set.add((src, dst))
-        self._copy_succs.setdefault(src, []).append(dst)
+        succs = self._succs.get(src)
+        if succs is None:
+            succs = self._succs[src] = {}
+        elif dst in succs:
+            return
+        succs[dst] = None
         self.stats["edges"] += 1
         existing = self.pts.get(src)
         if existing:
             self.add_pts(dst, existing)
+
+    def register_call_watch(self, key: PointerKey, node: CGNode,
+                            call: Call) -> None:
+        """Watch ``key`` for new receivers of ``call``, dispatching the
+        already-known ones (used by native-method summaries too)."""
+        key = self._scc.find(key)
+        self._call_watch.setdefault(key, []).append((node, call))
+        # Snapshot: dispatching may grow this very set (coalesced facts
+        # are delivered later through the watch we just registered).
+        for ikey in tuple(self.pts.get(key, ())):
+            self._dispatch(node, call, ikey)
 
     # ------------------------------------------------------ constraint adding
 
@@ -225,14 +350,16 @@ class PointerAnalysis:
 
     def _watch_load(self, base: PointerKey, fld: str,
                     dst: PointerKey) -> None:
+        base = self._scc.find(base)
         self._load_watch.setdefault(base, []).append((fld, dst))
-        for ikey in self.pts.get(base, ()):
+        for ikey in tuple(self.pts.get(base, ())):
             self.add_copy_edge(FieldKey(ikey, fld), dst)
 
     def _watch_store(self, base: PointerKey, fld: str,
                      src: PointerKey) -> None:
+        base = self._scc.find(base)
         self._store_watch.setdefault(base, []).append((fld, src))
-        for ikey in self.pts.get(base, ()):
+        for ikey in tuple(self.pts.get(base, ())):
             self.add_copy_edge(src, FieldKey(ikey, fld))
 
     def _add_call(self, node: CGNode, call: Call) -> None:
@@ -245,10 +372,8 @@ class PointerAnalysis:
         # virtual / special: dispatch per receiver instance key.
         if call.receiver is None:
             return
-        recv_key = self._local(node, call.receiver)
-        self._call_watch.setdefault(recv_key, []).append((node, call))
-        for ikey in set(self.pts.get(recv_key, ())):
-            self._dispatch(node, call, ikey)
+        self.register_call_watch(self._local(node, call.receiver), node,
+                                 call)
 
     # ------------------------------------------------------ call processing
 
@@ -298,17 +423,125 @@ class PointerAnalysis:
     # ------------------------------------------------------ constraint solving
 
     def _solve_constraints(self) -> None:
-        while self._worklist:
-            key, delta = self._worklist.popleft()
-            self.stats["propagations"] += 1
-            for dst in self._copy_succs.get(key, ()):
-                self.add_pts(dst, delta)
-            for fld, dst in self._load_watch.get(key, ()):
-                for ikey in delta:
-                    self.add_copy_edge(FieldKey(ikey, fld), dst)
-            for fld, src in self._store_watch.get(key, ()):
-                for ikey in delta:
-                    self.add_copy_edge(src, FieldKey(ikey, fld))
-            for caller_node, call in self._call_watch.get(key, ()):
-                for ikey in delta:
-                    self._dispatch(caller_node, call, ikey)
+        find = self._scc.find
+        # Fast-path probe: a key is merged iff it has a parent entry, so
+        # the common (cycle-free) case pays one C-level dict get instead
+        # of a Python call into find().
+        merged_probe = self._scc._parent.get
+        worklist = self._worklist
+        pending = self._pending
+        all_succs = self._succs
+        load_watch = self._load_watch
+        store_watch = self._store_watch
+        call_watch = self._call_watch
+        suspects = self._suspect_srcs
+        lcd_batch = self.LCD_BATCH
+        stats = self.stats
+        add_pts = self.add_pts
+        add_copy_edge = self.add_copy_edge
+        checked = self._lcd_checked
+        while worklist:
+            key = worklist.popleft()
+            delta = pending.pop(key, None)
+            if delta is None:
+                continue        # merged away or already drained
+            stats["propagations"] += 1
+            succs = all_succs.get(key)
+            if succs:
+                # add_pts never touches _succs, so iterate it directly.
+                for dst in succs:
+                    if merged_probe(dst) is not None:
+                        dst = find(dst)
+                        if dst is key:
+                            continue
+                    if not add_pts(dst, delta):
+                        # Fully redundant re-delivery: this edge may
+                        # close a copy cycle.  Check each edge once.
+                        edge = (key, dst)
+                        if edge not in checked:
+                            checked.add(edge)
+                            suspects[key] = None
+            watches = load_watch.get(key)
+            if watches:
+                for fld, dst in watches:
+                    for ikey in delta:
+                        add_copy_edge(FieldKey(ikey, fld), dst)
+            watches = store_watch.get(key)
+            if watches:
+                for fld, src in watches:
+                    for ikey in delta:
+                        add_copy_edge(src, FieldKey(ikey, fld))
+            watches = call_watch.get(key)
+            if watches:
+                # Snapshot: dispatching can register further watchers.
+                for caller_node, call in list(watches):
+                    for ikey in delta:
+                        self._dispatch(caller_node, call, ikey)
+            if len(suspects) >= lcd_batch:
+                self._collapse_cycles()
+
+    # ------------------------------------------------------ cycle elimination
+
+    # Suspect edges tolerated before a mid-drain SCC pass runs.
+    LCD_BATCH = 32
+
+    def _collapse_cycles(self) -> None:
+        """Run SCC detection rooted at the suspect edges and merge each
+        cycle found.  Rooting at suspects keeps the sweep proportional
+        to the subgraph they can reach, not the whole copy graph."""
+        find = self._scc.find
+        roots = [find(k) for k in self._suspect_srcs]
+        self._suspect_srcs.clear()
+        self.stats["scc_runs"] += 1
+        for comp in copy_cycles(self._succs, find, roots):
+            self.stats["cycles_collapsed"] += 1
+            winner = comp[0]
+            for loser in comp[1:]:
+                winner_root, loser_root = self._scc.union(winner, loser)
+                if winner_root is not loser_root:
+                    self._merge_into(winner_root, loser_root)
+                winner = winner_root
+
+    def _merge_into(self, winner: PointerKey, loser: PointerKey) -> None:
+        """Fold the loser's solver state into the winner (already
+        unioned in the union-find)."""
+        self.stats["keys_merged"] += 1
+        find = self._scc.find
+        loser_pts = self.pts.pop(loser, None) or set()
+        loser_pending = self._pending.pop(loser, None) or set()
+        winner_pts = self.pts.get(winner)
+        if winner_pts is None:
+            winner_pts = self.pts[winner] = set()
+        # Facts one side has propagated but the other has not: both
+        # successor lists are about to be unified, so everything either
+        # side might still owe its (old) successors must be re-pending.
+        owed = winner_pts.symmetric_difference(loser_pts)
+        owed |= loser_pending
+        winner_pts |= loser_pts
+        if owed:
+            pending = self._pending.get(winner)
+            if pending is None:
+                self._pending[winner] = set(owed)
+                self._worklist.append(winner)
+            else:
+                pending.update(owed)
+        # Unify copy successors, dropping self-loops and duplicates.
+        merged: Dict[PointerKey, None] = {}
+        for dst in (*self._succs.pop(winner, ()),
+                    *self._succs.pop(loser, ())):
+            dst = find(dst)
+            if dst is not winner:
+                merged[dst] = None
+        if merged:
+            self._succs[winner] = merged
+        # Concatenate watch lists; duplicates are deduplicated
+        # downstream (edge set membership / _dispatched tokens).
+        for watch in (self._load_watch, self._store_watch,
+                      self._call_watch):
+            tail = watch.pop(loser, None)
+            if tail:
+                head = watch.get(winner)
+                if head is None:
+                    watch[winner] = tail
+                else:
+                    head.extend(tail)

@@ -1,4 +1,5 @@
-"""Differential testing: dynamic execution vs the static strategies.
+"""Differential testing: dynamic execution vs the static strategies,
+and the optimised solver kernel vs the preserved seed solver.
 
 For randomly composed servlets we check the soundness lattice
 
@@ -8,12 +9,22 @@ For randomly composed servlets we check the soundness lattice
 either the interpreter realizes a flow the static analysis misses
 (static unsoundness) or CI misses something hybrid finds (broken
 baseline ordering).
+
+The solver property test checks the kernel overhaul end to end: for
+every composed program, :class:`repro.pointer.PointerAnalysis` (online
+cycle elimination, interned keys, coalescing worklist) must compute the
+identical least fixpoint as :class:`repro.pointer.SeedPointerAnalysis`.
+Both run with an unbounded budget — the fixpoint is order-independent,
+but budget truncation is not.
 """
 
 from hypothesis import given, settings, strategies as st
 
 from repro import TAJ, TAJConfig
 from repro.interp import run_dynamic
+from repro.modeling import default_natives, prepare
+from repro.pointer import (ChaoticOrder, ContextPolicy, PointerAnalysis,
+                           SeedPointerAnalysis)
 
 SNIPPETS = {
     "direct": '    resp.getWriter().println(req.getParameter("p{i}"));',
@@ -96,3 +107,51 @@ def test_hybrid_is_exact_on_these_patterns(choices):
     hybrid = sink_methods(
         TAJ(TAJConfig.hybrid_unbounded()).analyze_sources([source]))
     assert dynamic == hybrid, (choices, dynamic, hybrid)
+
+
+# -- solver kernel: optimised vs seed ----------------------------------------
+
+def canonical_solution(analysis):
+    """Key-family-independent form of a points-to solution.
+
+    The optimised solver uses interned keys, the seed its original
+    dataclasses, so solutions are compared through their canonical
+    string forms (the ``__str__`` formats match by construction).
+    """
+    out = {}
+    for key, pts in analysis.iter_pts():
+        if pts:
+            out[str(key)] = frozenset(str(ik) for ik in pts)
+    return out
+
+
+def solve_with(cls, prepared):
+    analysis = cls(prepared.program, ContextPolicy(),
+                   natives=default_natives(), order=ChaoticOrder())
+    analysis.solve()
+    return analysis
+
+
+@given(choice_lists)
+@settings(max_examples=15, deadline=None)
+def test_optimized_solver_matches_seed_fixpoint(choices):
+    """Cycle elimination, interning and coalescing must not change the
+    least fixpoint: every pointer key points to the same instance keys
+    under both kernels, in both directions."""
+    prepared = prepare([build_source(choices)])
+    seed = solve_with(SeedPointerAnalysis, prepared)
+    optimized = solve_with(PointerAnalysis, prepared)
+    seed_solution = canonical_solution(seed)
+    opt_solution = canonical_solution(optimized)
+    assert seed_solution == opt_solution, (
+        choices,
+        {k: v for k, v in seed_solution.items()
+         if opt_solution.get(k) != v},
+        {k: v for k, v in opt_solution.items()
+         if seed_solution.get(k) != v},
+    )
+    # The call graphs must agree too: same nodes reached, same edges.
+    assert (seed.call_graph.node_count() ==
+            optimized.call_graph.node_count()), choices
+    assert (seed.call_graph.edge_count() ==
+            optimized.call_graph.edge_count()), choices
