@@ -36,6 +36,7 @@ from repro.bench.micro import MICRO_CASES, MOTIVATING, cyclic_stress
 from repro.bench.securibench import CASES
 from repro.bench.harness import write_bench_json
 from repro.modeling import default_natives, prepare
+from repro.obs import Observability
 from repro.pointer import (ChaoticOrder, ContextPolicy, PointerAnalysis,
                            SeedPointerAnalysis)
 
@@ -55,12 +56,19 @@ def suite_sources(quick: bool = False) -> Dict[str, List[List[str]]]:
     return {"micro": micro, "securibench": securibench, "cyclic": cyclic}
 
 
-def run_solver(cls, prepared, repeats: int = REPEATS):
-    """Best-of-``repeats`` solve; returns (solver, best_seconds)."""
+def run_solver(cls, prepared, repeats: int = REPEATS, obs=None):
+    """Best-of-``repeats`` solve; returns (solver, best_seconds).
+
+    ``obs`` (an :class:`Observability` bundle) is only forwarded when
+    given — the preserved seed solver predates the observability layer
+    and takes no such keyword.
+    """
+    kwargs = {"obs": obs} if obs is not None else {}
     best = None
     for _ in range(repeats):
         pa = cls(prepared.program, ContextPolicy(),
-                 natives=default_natives(), order=ChaoticOrder())
+                 natives=default_natives(), order=ChaoticOrder(),
+                 **kwargs)
         t0 = time.perf_counter()
         pa.solve()
         t = time.perf_counter() - t0
@@ -79,8 +87,15 @@ def canonical(pa) -> Dict[str, frozenset]:
 
 def bench_suite(programs: List[List[str]],
                 repeats: int = REPEATS) -> Dict[str, Dict[str, float]]:
-    """Run both kernels over a suite; returns the per-solver metrics."""
+    """Run both kernels over a suite; returns the per-solver metrics.
+
+    One :class:`Observability` registry is shared across the suite's
+    optimised runs so the artifact carries the aggregate counters,
+    worklist-depth peaks, and points-to-set-size percentiles under the
+    ``metrics_registry`` key.
+    """
     prepareds = [prepare(srcs) for srcs in programs]
+    obs = Observability()
     metrics = {
         solver: {"wall_s": 0.0, "nodes": 0, "edges": 0, "propagations": 0}
         for solver in ("seed", "optimized")
@@ -89,7 +104,8 @@ def bench_suite(programs: List[List[str]],
                  "coalesced_deltas": 0, "scc_runs": 0}
     for prepared in prepareds:
         seed, seed_t = run_solver(SeedPointerAnalysis, prepared, repeats)
-        opt, opt_t = run_solver(PointerAnalysis, prepared, repeats)
+        opt, opt_t = run_solver(PointerAnalysis, prepared, repeats,
+                                obs=obs)
         if canonical(seed) != canonical(opt):
             raise AssertionError(
                 "differential mismatch: optimised solver diverged from "
@@ -104,6 +120,9 @@ def bench_suite(programs: List[List[str]],
         for stat in opt_extra:
             opt_extra[stat] += opt.stats[stat]
     metrics["optimized"].update(opt_extra)
+    # Counters aggregate over programs x repeats; the timer histograms
+    # get one sample per solve, which is what makes p50/p95 meaningful.
+    metrics["metrics_registry"] = obs.metrics.snapshot()
     seed_wall = metrics["seed"]["wall_s"]
     metrics["reduction_percent"] = round(
         100.0 * (seed_wall - metrics["optimized"]["wall_s"]) / seed_wall, 1)

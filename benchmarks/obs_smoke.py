@@ -1,0 +1,117 @@
+"""CI smoke for the observability layer.
+
+Runs the SecuriBench-style suite through the real CLI with ``--trace``,
+``--metrics``, and ``--audit``, then validates every artifact:
+
+* the Chrome trace is non-empty, schema-valid, and contains all five
+  top-level ``phase.*`` spans per analyzed case;
+* the metrics snapshot carries the solver counters, timer percentile
+  summaries, and the peak-memory gauge;
+* the audit payload is well-formed (and non-empty whenever the run
+  actually reported issues, i.e. the CLI exited 1).
+
+Exit status is non-zero on any failure, so CI can gate on it directly:
+
+    PYTHONPATH=src python benchmarks/obs_smoke.py
+    PYTHONPATH=src python benchmarks/obs_smoke.py --max-cases 6  # quicker
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import tempfile
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+if str(REPO_ROOT / "src") not in sys.path:  # script mode
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.bench.securibench import CASES
+from repro.cli import main as cli_main
+
+PHASES = {"phase.modeling", "phase.pointer_analysis", "phase.sdg",
+          "phase.taint", "phase.reporting"}
+
+
+def check_trace(path: Path, case: str) -> None:
+    payload = json.loads(path.read_text())
+    events = payload["traceEvents"]
+    assert events, f"{case}: empty trace"
+    names = set()
+    for event in events:
+        assert event["ph"] == "X", f"{case}: bad phase type {event}"
+        assert event["ts"] >= 0 and event["dur"] >= 0, \
+            f"{case}: negative timestamp {event}"
+        names.add(event["name"])
+    missing = PHASES - names
+    assert not missing, f"{case}: phases missing from trace: {missing}"
+
+
+def check_metrics(path: Path, case: str) -> None:
+    snap = json.loads(path.read_text())
+    counters = snap["counters"]
+    assert counters.get("pointer.propagations", 0) > 0, \
+        f"{case}: no solver counters in metrics"
+    solving = snap["timers"]["pointer.constraint_solving"]
+    for field in ("count", "total", "p50", "p95", "max"):
+        assert field in solving, f"{case}: timer summary missing {field}"
+    assert snap["gauges"].get("memory.peak_bytes", 0) > 0, \
+        f"{case}: no peak-memory gauge"
+
+
+def check_audit(path: Path, case: str, expect_flows: bool) -> None:
+    payload = json.loads(path.read_text())
+    assert "flows" in payload and "rules_consulted" in payload, \
+        f"{case}: malformed audit payload"
+    if expect_flows:
+        assert payload["flows"], f"{case}: expected a flow witness"
+        for witness in payload["flows"]:
+            assert witness["rule"], f"{case}: witness without a rule"
+            assert "grouping" in witness, \
+                f"{case}: witness without a grouping decision"
+
+
+def run(max_cases: int = 0) -> int:
+    cases = [(f"{category}/{name}", source)
+             for category, members in CASES.items()
+             for name, (source, _truth) in members.items()]
+    if max_cases:
+        cases = cases[:max_cases]
+    failures = 0
+    with tempfile.TemporaryDirectory(prefix="obs-smoke-") as tmp:
+        tmpdir = Path(tmp)
+        for index, (case, source) in enumerate(cases):
+            app = tmpdir / f"case{index}.jlang"
+            app.write_text(source)
+            trace = tmpdir / f"trace{index}.json"
+            metrics = tmpdir / f"metrics{index}.json"
+            audit = tmpdir / f"audit{index}.json"
+            # Exit code 1 just means "issues found" — not a failure.
+            code = cli_main(["--trace", str(trace),
+                             "--metrics", str(metrics),
+                             "--audit", str(audit), str(app)])
+            try:
+                check_trace(trace, case)
+                check_metrics(metrics, case)
+                check_audit(audit, case, expect_flows=code == 1)
+            except AssertionError as exc:
+                print(f"FAIL {case}: {exc}")
+                failures += 1
+    print(f"obs smoke: {len(cases) - failures}/{len(cases)} cases ok")
+    return 1 if failures else 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Validate --trace/--metrics/--audit artifacts over "
+                    "the securibench suite.")
+    parser.add_argument("--max-cases", type=int, default=0,
+                        help="only run the first N cases (0 = all)")
+    args = parser.parse_args(argv)
+    return run(max_cases=args.max_cases)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

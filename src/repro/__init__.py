@@ -27,14 +27,15 @@ Quickstart::
 """
 
 from .core import TAJ, TAJConfig, TAJResult, analyze, settings_matrix
+from .obs import Observability
 from .taint import (RuleSet, SecurityRule, TaintFlow, default_rules,
                     extended_rules)
 
 __version__ = "1.0.0"
 
 __all__ = [
-    "RuleSet", "SecurityRule", "TAJ", "TAJConfig", "TAJResult",
-    "TaintFlow", "analyze", "default_rules", "extended_rules",
-    "settings_matrix",
+    "Observability", "RuleSet", "SecurityRule", "TAJ", "TAJConfig",
+    "TAJResult", "TaintFlow", "analyze", "default_rules",
+    "extended_rules", "settings_matrix",
     "__version__",
 ]

@@ -29,6 +29,9 @@ class RunRecord:
     # Pointer-solver kernel counters and phase times for this run
     # (propagations, cycles_collapsed, time_constraint_solving, ...).
     solver_stats: Dict[str, float] = field(default_factory=dict)
+    # Metrics-registry snapshot (counters/gauges/timers/histograms) for
+    # this run — the full observability picture, not just the kernel.
+    metrics: Dict[str, Dict] = field(default_factory=dict)
 
 
 @dataclass
@@ -78,7 +81,8 @@ def run_suite(apps: Optional[Dict[str, GeneratedApp]] = None,
                 app=name, config=config.name, issues=result.issues,
                 seconds=result.times.total, failed=result.failed,
                 cg_nodes=result.cg_nodes, score=score,
-                solver_stats=result.solver_stats()))
+                solver_stats=result.solver_stats(),
+                metrics=result.metrics))
     return results
 
 

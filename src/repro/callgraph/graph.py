@@ -92,6 +92,21 @@ class CallGraph:
         """Possible targets of one call site in one caller node."""
         return self._by_site.get((caller, call_iid), [])
 
+    def size_stats(self) -> Dict[str, int]:
+        """Growth summary (the Table 2 size columns), in the shape the
+        metrics registry records as ``callgraph.*`` gauges."""
+        contexts_per_method = [len(nodes)
+                               for nodes in self._by_method.values()]
+        return {
+            "nodes": len(self.nodes),
+            "edges": len(self.edges),
+            "entrypoints": len(self.entrypoints),
+            "methods": len(self._by_method),
+            "call_sites": len(self._by_site),
+            "max_contexts_per_method": max(contexts_per_method,
+                                           default=0),
+        }
+
     def __iter__(self) -> Iterator[CGNode]:
         return iter(self.nodes)
 

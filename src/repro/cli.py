@@ -6,6 +6,15 @@ Analyzes jlang source files and prints (or JSON-dumps) the report.
     python -m repro --config ci --rules extended app.jlang lib.jlang
     python -m repro --json --descriptor ejb.json app.jlang
     python -m repro --dynamic app.jlang      # also run the interpreter
+    python -m repro --trace t.json --metrics m.json app.jlang
+    python -m repro --audit audit.json app.jlang
+
+Observability (``docs/observability.md``): ``--trace`` writes a Chrome
+``chrome://tracing``-loadable span trace (``--trace-jsonl`` the JSONL
+flavor), ``--metrics`` a metrics-registry snapshot (counters, timer
+percentiles, peak-memory gauges), ``--audit`` the per-flow provenance
+audit, and ``--stats`` prints the solver kernel counters plus the
+registry summary table.
 """
 
 from __future__ import annotations
@@ -16,7 +25,9 @@ import sys
 from typing import Dict, List, Optional
 
 from .core import TAJ, TAJConfig
-from .reporting import render_text
+from .obs import (Observability, write_audit_json, write_chrome_trace,
+                  write_metrics_json, write_spans_jsonl)
+from .reporting import render_metrics_table, render_text
 from .taint import default_rules, extended_rules
 
 CONFIG_FACTORIES = {
@@ -54,7 +65,20 @@ def build_parser() -> argparse.ArgumentParser:
                              "report tainted sink events")
     parser.add_argument("--stats", action="store_true",
                         help="print solver kernel statistics "
-                             "(propagations, cycle merges, phase times)")
+                             "(propagations, cycle merges, phase times) "
+                             "and the metrics-registry summary table")
+    parser.add_argument("--trace", metavar="FILE",
+                        help="write the span trace in Chrome trace-event "
+                             "format (load in chrome://tracing)")
+    parser.add_argument("--trace-jsonl", metavar="FILE",
+                        help="write the span trace as JSONL "
+                             "(one span per line)")
+    parser.add_argument("--metrics", metavar="FILE",
+                        help="write the metrics-registry snapshot as "
+                             "JSON (enables peak-memory sampling)")
+    parser.add_argument("--audit", metavar="FILE",
+                        help="write the flow-provenance audit as JSON "
+                             "(witness chain per reported flow)")
     parser.add_argument("--max-cg-nodes", type=int, metavar="N",
                         help="override the call-graph node budget")
     parser.add_argument("--flow-length", type=int, metavar="N",
@@ -91,8 +115,21 @@ def main(argv: Optional[List[str]] = None) -> int:
     rules = extended_rules() if args.rules == "extended" \
         else default_rules()
 
-    result = TAJ(config, rules=rules).analyze_sources(
+    obs = Observability(audit=args.audit is not None,
+                        memory=args.metrics is not None)
+    result = TAJ(config, rules=rules, obs=obs).analyze_sources(
         sources, deployment_descriptor=descriptor)
+
+    if args.trace:
+        write_chrome_trace(obs.tracer, args.trace,
+                           metadata={"config": config.name,
+                                     "files": len(args.files)})
+    if args.trace_jsonl:
+        write_spans_jsonl(obs.tracer, args.trace_jsonl)
+    if args.metrics:
+        write_metrics_json(result.metrics, args.metrics)
+    if args.audit:
+        write_audit_json(obs.audit, args.audit)
 
     if args.sarif:
         from .reporting import render_sarif
@@ -125,6 +162,8 @@ def main(argv: Optional[List[str]] = None) -> int:
                     print(f"  {name:<26} {value:.4f}")
                 else:
                     print(f"  {name:<26} {value}")
+            print()
+            print(render_metrics_table(result.metrics))
 
     if args.dynamic:
         from .interp import run_dynamic

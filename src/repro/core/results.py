@@ -8,10 +8,22 @@ from typing import Dict, List, Optional
 from ..reporting import Report
 from ..taint.flows import TaintFlow
 
+# Legacy solver-stat keys, used when no metrics snapshot was recorded
+# (results produced under the disabled observability bundle).
+_SOLVER_STAT_KEYS = ("propagations", "edges", "nodes_processed",
+                     "cycles_collapsed", "keys_merged",
+                     "coalesced_deltas", "scc_runs",
+                     "time_constraint_adding", "time_constraint_solving")
+
 
 @dataclass
 class PhaseTimes:
-    """Wall-clock seconds per analysis phase."""
+    """Wall-clock seconds per analysis phase.
+
+    Derived from the ``phase.*`` tracer spans (one per pipeline phase),
+    not from ad-hoc ``perf_counter`` call sites — see
+    ``docs/observability.md``.
+    """
 
     modeling: float = 0.0
     pointer_analysis: float = 0.0
@@ -30,7 +42,7 @@ class TAJResult:
     """Everything one analysis run produced."""
 
     config_name: str
-    report: Report = None
+    report: Optional[Report] = None
     flows: List[TaintFlow] = field(default_factory=list)
     times: PhaseTimes = field(default_factory=PhaseTimes)
     cg_nodes: int = 0
@@ -42,14 +54,37 @@ class TAJResult:
     # solver's kernel counters (propagations, cycles_collapsed, ...) and
     # per-phase wall times (time_constraint_adding, ...), taint bounds.
     stats: Dict[str, float] = field(default_factory=dict)
+    # The metrics-registry snapshot for this run: counters / gauges /
+    # timer and value histograms with p50/p95/max summaries (empty when
+    # the run used the disabled observability bundle).
+    metrics: Dict[str, Dict] = field(default_factory=dict)
+    # The flow-provenance audit payload (empty unless audit mode was
+    # enabled): per-flow witness chains + per-rule consultations.
+    provenance: Dict[str, object] = field(default_factory=dict)
 
     def solver_stats(self) -> Dict[str, float]:
-        """The pointer-solver kernel's counters and phase times."""
-        keys = ("propagations", "edges", "nodes_processed",
-                "cycles_collapsed", "keys_merged", "coalesced_deltas",
-                "scc_runs", "time_constraint_adding",
-                "time_constraint_solving")
-        return {k: self.stats[k] for k in keys if k in self.stats}
+        """The pointer-solver kernel's counters and phase times.
+
+        Delegates to the metrics-registry snapshot (every ``pointer.*``
+        counter, plus the solver sub-phase timer totals); results
+        recorded without a registry fall back to the legacy ``stats``
+        keys.
+        """
+        counters = self.metrics.get("counters") if self.metrics else None
+        if counters:
+            prefix = "pointer."
+            out: Dict[str, float] = {
+                name[len(prefix):]: value
+                for name, value in counters.items()
+                if name.startswith(prefix)}
+            timers = self.metrics.get("timers", {})
+            for phase in ("constraint_adding", "constraint_solving"):
+                summary = timers.get(prefix + phase)
+                if summary is not None:
+                    out[f"time_{phase}"] = summary["total"]
+            return out
+        return {k: self.stats[k] for k in _SOLVER_STAT_KEYS
+                if k in self.stats}
 
     @property
     def issues(self) -> int:

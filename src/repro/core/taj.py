@@ -7,6 +7,13 @@ custom context-sensitivity policy, optional priority-driven ordering
 Stage 2 — taint tracking by thin slicing over the HSDG (§3.2), carrier
 detection (§4.1.1), bounds (§6.2), and LCP-grouped reporting (§5).
 
+Every phase runs inside a tracer span from :mod:`repro.obs`; the span
+durations are the single timing source for both :class:`PhaseTimes` and
+the metrics registry.  Pass an :class:`~repro.obs.Observability` bundle
+to keep (and export) the trace, metrics, and provenance audit; without
+one, each call gets a private bundle whose registry snapshot lands in
+``TAJResult.metrics``.
+
 Typical use::
 
     from repro import TAJ, TAJConfig
@@ -19,13 +26,13 @@ Typical use::
 
 from __future__ import annotations
 
-import time
 from typing import Dict, List, Optional
 
 from ..bounds import Budget
 from ..callgraph import PriorityOrder
 from ..modeling import (COLLECTION_CLASSES, FACTORY_METHODS, ModelOptions,
                         PreparedProgram, default_natives, prepare)
+from ..obs import Observability
 from ..pointer import (ChaoticOrder, ContextPolicy, PointerAnalysis,
                        PolicyConfig)
 from ..pointer.heapgraph import HeapGraph
@@ -42,68 +49,92 @@ class TAJ:
     """Taint Analysis for jlang — the reproduction's entry point."""
 
     def __init__(self, config: Optional[TAJConfig] = None,
-                 rules: Optional[RuleSet] = None) -> None:
+                 rules: Optional[RuleSet] = None,
+                 obs: Optional[Observability] = None) -> None:
         self.config = config or TAJConfig.hybrid_optimized()
         self.rules = rules or default_rules()
+        self.obs = obs
 
     # -- public API ------------------------------------------------------------
 
     def analyze_sources(self, sources: List[str],
                         deployment_descriptor: Optional[Dict[str, str]]
                         = None,
-                        extra_entrypoints: Optional[List[str]] = None
+                        extra_entrypoints: Optional[List[str]] = None,
+                        obs: Optional[Observability] = None
                         ) -> TAJResult:
         """Model + analyze jlang application sources."""
-        times = PhaseTimes()
-        started = time.perf_counter()
-        prepared = prepare(sources, deployment_descriptor,
-                           self.config.models, extra_entrypoints)
-        times.modeling = time.perf_counter() - started
-        return self.analyze_prepared(prepared, times)
+        obs = self._resolve_obs(obs)
+        with obs.tracer.span("phase.modeling",
+                             sources=len(sources)) as span:
+            prepared = prepare(sources, deployment_descriptor,
+                               self.config.models, extra_entrypoints,
+                               obs=obs)
+        obs.sample_memory()
+        times = PhaseTimes(modeling=span.duration)
+        return self.analyze_prepared(prepared, times, obs=obs)
 
     def analyze_prepared(self, prepared: PreparedProgram,
-                         times: Optional[PhaseTimes] = None) -> TAJResult:
+                         times: Optional[PhaseTimes] = None,
+                         obs: Optional[Observability] = None) -> TAJResult:
         """Analyze an already modeled program (lets callers share the
         modeling phase across configurations)."""
         config = self.config
+        obs = self._resolve_obs(obs)
+        tracer = obs.tracer
         times = times or PhaseTimes()
         result = TAJResult(config_name=config.name, times=times)
         program = prepared.program
 
         # ---- stage 1: pointer analysis + call graph -----------------------
-        started = time.perf_counter()
-        policy = ContextPolicy(self._policy_config())
-        order = self._ordering(config)
-        excluded = set()
-        if config.use_whitelist:
-            excluded = set(prepared.whitelist) | {
-                name for name in config.whitelist_extra
-                if (cls := program.get_class(name)) and cls.is_library}
-        analysis = PointerAnalysis(
-            program, policy, natives=default_natives(), order=order,
-            budget=config.budget,
-            excluded_classes=excluded)
-        analysis.solve()
-        times.pointer_analysis = time.perf_counter() - started
+        with tracer.span("phase.pointer_analysis",
+                         config=config.name) as span:
+            policy = ContextPolicy(self._policy_config())
+            order = self._ordering(config)
+            excluded = set()
+            if config.use_whitelist:
+                excluded = set(prepared.whitelist) | {
+                    name for name in config.whitelist_extra
+                    if (cls := program.get_class(name)) and cls.is_library}
+            analysis = PointerAnalysis(
+                program, policy, natives=default_natives(), order=order,
+                budget=config.budget,
+                excluded_classes=excluded, obs=obs)
+            analysis.solve()
+            span.set(cg_nodes=analysis.call_graph.node_count(),
+                     truncated=analysis.truncated)
+        times.pointer_analysis = span.duration
+        obs.sample_memory()
         result.cg_nodes = analysis.call_graph.node_count()
         result.cg_edges = analysis.call_graph.edge_count()
         result.truncated = analysis.truncated
 
         # ---- stage 2: dependence graphs + taint tracking ---------------------
-        started = time.perf_counter()
-        if config.slicing == "cs":
-            sdg = CSExtendedSDG(program, analysis.call_graph, analysis)
-        else:
-            sdg = NoHeapSDG(program, analysis.call_graph)
-        direct = DirectEdges(sdg, analysis)
-        heap_graph = HeapGraph(analysis)
-        times.sdg = time.perf_counter() - started
+        with tracer.span("phase.sdg", strategy=config.slicing) as span:
+            with tracer.span("sdg.build"):
+                if config.slicing == "cs":
+                    sdg = CSExtendedSDG(program, analysis.call_graph,
+                                        analysis)
+                else:
+                    sdg = NoHeapSDG(program, analysis.call_graph)
+            with tracer.span("sdg.direct_edges"):
+                direct = DirectEdges(sdg, analysis)
+            with tracer.span("sdg.heap_graph"):
+                heap_graph = HeapGraph(analysis)
+            obs.metrics.gauge("sdg.call_sites",
+                              sum(len(sites) for sites
+                                  in sdg.call_sites.values()))
+        times.sdg = span.duration
+        obs.sample_memory()
 
-        started = time.perf_counter()
-        engine = TaintEngine(sdg, direct, heap_graph, self.rules,
-                             config.budget, strategy=config.slicing)
-        taint = engine.run()
-        times.taint = time.perf_counter() - started
+        with tracer.span("phase.taint", strategy=config.slicing) as span:
+            engine = TaintEngine(sdg, direct, heap_graph, self.rules,
+                                 config.budget, strategy=config.slicing,
+                                 obs=obs)
+            taint = engine.run()
+            span.set(flows=len(taint.flows), failed=taint.failed)
+        times.taint = span.duration
+        obs.sample_memory()
 
         result.flows = taint.flows
         result.failed = taint.failed
@@ -117,12 +148,28 @@ class TAJ:
         result.stats["state_units"] = taint.state_units
 
         # ---- reporting (§5) ---------------------------------------------------
-        started = time.perf_counter()
-        result.report = build_report(taint.flows, self.rules, program)
-        times.reporting = time.perf_counter() - started
+        with tracer.span("phase.reporting") as span:
+            result.report = build_report(taint.flows, self.rules, program,
+                                         obs=obs)
+            span.set(issues=result.report.count(),
+                     raw_flows=len(taint.flows))
+        times.reporting = span.duration
+        obs.finish()
+        result.metrics = obs.metrics.snapshot()
+        result.provenance = obs.audit.to_payload()
         return result
 
     # -- internals ----------------------------------------------------------------
+
+    def _resolve_obs(self, obs: Optional[Observability]) -> Observability:
+        """Explicit argument > bundle given at construction > a fresh
+        private bundle for this call (so default runs still collect
+        metrics into ``TAJResult.metrics``)."""
+        if obs is not None:
+            return obs
+        if self.obs is not None:
+            return self.obs
+        return Observability()
 
     def _policy_config(self) -> PolicyConfig:
         config = self.config

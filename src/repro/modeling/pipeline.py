@@ -23,6 +23,7 @@ from typing import Dict, List, Optional, Set
 
 from ..ir import Program, validate_program
 from ..lang import Lowerer, parse
+from ..obs import DISABLED, Observability
 from ..ssa import ConstantValues, SSAInfo, to_ssa
 from . import (collections_model, exceptions_model, reflection, strings,
                struts)
@@ -65,15 +66,24 @@ class PreparedProgram:
 def prepare(app_sources: List[str],
             deployment_descriptor: Optional[Dict[str, str]] = None,
             options: Optional[ModelOptions] = None,
-            extra_entrypoints: Optional[List[str]] = None) -> PreparedProgram:
-    """Build a :class:`PreparedProgram` from jlang application sources."""
+            extra_entrypoints: Optional[List[str]] = None,
+            obs: Optional[Observability] = None) -> PreparedProgram:
+    """Build a :class:`PreparedProgram` from jlang application sources.
+
+    Each model pass runs inside a ``modeling.*`` tracer span, and the
+    pass counters are absorbed into the metrics registry (prefixed
+    ``modeling.``) in addition to the returned ``stats`` dict.
+    """
     options = options or ModelOptions()
-    program = load_stdlib()
-    if app_sources:
-        lowerer = Lowerer(program)
-        for source in app_sources:
-            lowerer.add_unit(parse(source))
-        lowerer.lower_all()
+    obs = obs or DISABLED
+    tracer = obs.tracer
+    with tracer.span("modeling.lower", sources=len(app_sources)):
+        program = load_stdlib()
+        if app_sources:
+            lowerer = Lowerer(program)
+            for source in app_sources:
+                lowerer.add_unit(parse(source))
+            lowerer.lower_all()
     if deployment_descriptor:
         program.deployment_descriptor.update(deployment_descriptor)
     for entry in extra_entrypoints or []:
@@ -82,43 +92,55 @@ def prepare(app_sources: List[str],
 
     stats: Dict[str, int] = {}
     if options.frameworks:
-        roots = struts.synthesize_entrypoints(program)
+        with tracer.span("modeling.frameworks"):
+            roots = struts.synthesize_entrypoints(program)
         stats["entrypoint_roots"] = len(roots)
     if options.exceptions:
-        stats["exception_sources"] = exceptions_model.rewrite_program(program)
+        with tracer.span("modeling.exceptions"):
+            stats["exception_sources"] = \
+                exceptions_model.rewrite_program(program)
     if options.strings:
-        stats["string_ops"] = strings.rewrite_program(program)
+        with tracer.span("modeling.strings"):
+            stats["string_ops"] = strings.rewrite_program(program)
 
     ssa_by: Dict[str, SSAInfo] = {}
     constants: Dict[str, ConstantValues] = {}
-    for method in program.methods():
-        info = to_ssa(method)
-        ssa_by[method.qname] = info
-        if not method.is_native:
-            constants[method.qname] = ConstantValues(method, info)
+    with tracer.span("modeling.ssa") as span:
+        for method in program.methods():
+            info = to_ssa(method)
+            ssa_by[method.qname] = info
+            if not method.is_native:
+                constants[method.qname] = ConstantValues(method, info)
+        span.set(methods=len(ssa_by))
 
     if options.reflection:
-        stats["reflective_calls_resolved"] = reflection.rewrite_program(
-            program, ssa_by, constants)
+        with tracer.span("modeling.reflection"):
+            stats["reflective_calls_resolved"] = \
+                reflection.rewrite_program(program, ssa_by, constants)
     if options.collections:
-        stats["dictionary_accesses"] = collections_model.rewrite_program(
-            program, constants)
+        with tracer.span("modeling.collections"):
+            stats["dictionary_accesses"] = \
+                collections_model.rewrite_program(program, constants)
     if options.ejb and program.deployment_descriptor:
-        model = EJBModel(program)
-        stats["ejb_calls_resolved"] = model.rewrite_program(constants)
-        for name in model.generated:
-            cls = program.get_class(name)
-            for method in cls.methods.values():
-                if options.strings:
-                    strings.rewrite_method(method)
-                info = to_ssa(method)
-                ssa_by[method.qname] = info
-                if not method.is_native:
-                    constants[method.qname] = ConstantValues(method, info)
+        with tracer.span("modeling.ejb"):
+            model = EJBModel(program)
+            stats["ejb_calls_resolved"] = model.rewrite_program(constants)
+            for name in model.generated:
+                cls = program.get_class(name)
+                for method in cls.methods.values():
+                    if options.strings:
+                        strings.rewrite_method(method)
+                    info = to_ssa(method)
+                    ssa_by[method.qname] = info
+                    if not method.is_native:
+                        constants[method.qname] = ConstantValues(method,
+                                                                 info)
 
-    validate_program(program)
-    whitelist = (validate_whitelist(program, default_whitelist())
-                 if options.whitelist else set())
+    with tracer.span("modeling.validate"):
+        validate_program(program)
+        whitelist = (validate_whitelist(program, default_whitelist())
+                     if options.whitelist else set())
+    obs.metrics.merge_counters(stats, prefix="modeling.")
     return PreparedProgram(program=program, ssa=ssa_by,
                            constants=constants, whitelist=whitelist,
                            stats=stats)

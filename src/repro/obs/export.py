@@ -1,0 +1,107 @@
+"""Exporters: span trees and metric snapshots to files.
+
+Two trace formats:
+
+* **JSONL** — one span per line (pre-order), each a flat object with
+  ``name/start_s/end_s/duration_s/depth/parent/attrs``.  Easy to grep
+  and to diff across runs.
+* **Chrome trace-event** — the ``chrome://tracing`` / Perfetto format:
+  an object with a ``traceEvents`` array of complete (``"ph": "X"``)
+  events with microsecond ``ts``/``dur``.  Load a written file directly
+  in ``chrome://tracing`` to see the nested phase flame graph.
+
+Metrics snapshots are written as a single indented JSON object (the
+:meth:`~repro.obs.metrics.MetricsRegistry.snapshot` shape), provenance
+audits as :meth:`~repro.obs.provenance.ProvenanceAudit.to_payload`.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List
+
+
+def span_dicts(tracer) -> List[Dict]:
+    """Flat pre-order dicts for every span in the tracer."""
+    out: List[Dict] = []
+    for span, depth in tracer.iter_spans():
+        out.append({
+            "name": span.name,
+            "start_s": span.start,
+            "end_s": span.end if span.end is not None else span.start,
+            "duration_s": span.duration,
+            "depth": depth,
+            "parent": span.parent.name if span.parent is not None else None,
+            "attrs": dict(span.attrs),
+        })
+    return out
+
+
+def write_spans_jsonl(tracer, path: str) -> int:
+    """One JSON object per line per span; returns the span count."""
+    rows = span_dicts(tracer)
+    with open(path, "w", encoding="utf-8") as handle:
+        for row in rows:
+            handle.write(json.dumps(row, sort_keys=True))
+            handle.write("\n")
+    return len(rows)
+
+
+def chrome_trace_events(tracer) -> List[Dict]:
+    """Chrome trace-event "complete" events, timestamps rebased to the
+    earliest span so traces start at t=0."""
+    spans = list(tracer.iter_spans())
+    if not spans:
+        return []
+    base = min(span.start for span, _ in spans)
+    events: List[Dict] = []
+    for span, _depth in spans:
+        events.append({
+            "name": span.name,
+            "cat": "taj",
+            "ph": "X",
+            "ts": round((span.start - base) * 1e6, 3),
+            "dur": round(span.duration * 1e6, 3),
+            "pid": 1,
+            "tid": 1,
+            "args": _jsonable(span.attrs),
+        })
+    return events
+
+
+def write_chrome_trace(tracer, path: str,
+                       metadata: Dict = None) -> int:
+    """Write a ``chrome://tracing``-loadable file; returns event count."""
+    events = chrome_trace_events(tracer)
+    payload = {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "otherData": dict(metadata or {}),
+    }
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return len(events)
+
+
+def write_metrics_json(snapshot: Dict, path: str) -> None:
+    """Write a registry snapshot (or any JSON-serializable dict)."""
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(snapshot, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+
+def write_audit_json(audit, path: str) -> None:
+    """Write a provenance audit's payload."""
+    write_metrics_json(audit.to_payload(), path)
+
+
+def _jsonable(attrs: Dict) -> Dict:
+    """Attribute values coerced to JSON-serializable primitives."""
+    out: Dict[str, object] = {}
+    for key, value in attrs.items():
+        if isinstance(value, (str, int, float, bool)) or value is None:
+            out[key] = value
+        else:
+            out[key] = str(value)
+    return out

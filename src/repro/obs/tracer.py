@@ -1,0 +1,209 @@
+"""Hierarchical span tracer: the timing backbone of the pipeline.
+
+A *span* is a named, attributed interval on the monotonic clock
+(``time.perf_counter``).  Spans nest: entering a span while another is
+open makes it a child, so one analysis run yields a forest whose roots
+are the pipeline phases (``phase.modeling``, ``phase.pointer_analysis``,
+``phase.sdg``, ``phase.taint``, ``phase.reporting`` — see
+``docs/observability.md`` for the naming conventions).
+
+Usage::
+
+    tracer = Tracer()
+    with tracer.span("phase.modeling", sources=3) as span:
+        ...
+        span.set(classes=12)
+
+Hot paths that measure time themselves (the pointer solver's
+alternating sub-phases) report aggregates through
+:meth:`Tracer.add_completed`, which records a pre-timed span without a
+context manager.
+
+:class:`NullTracer` is the disabled-mode recorder: ``span()`` returns a
+shared no-op singleton and nothing is retained, so instrumentation
+points cost one attribute lookup and one method call.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, Iterator, List, Optional, Tuple
+
+
+class Span:
+    """One named interval; a node in the span tree."""
+
+    __slots__ = ("name", "start", "end", "attrs", "children", "parent",
+                 "_tracer")
+
+    def __init__(self, name: str, tracer: "Tracer",
+                 attrs: Optional[Dict] = None) -> None:
+        self.name = name
+        self.start = 0.0
+        self.end: Optional[float] = None
+        self.attrs: Dict[str, object] = dict(attrs) if attrs else {}
+        self.children: List["Span"] = []
+        self.parent: Optional["Span"] = None
+        self._tracer = tracer
+
+    @property
+    def duration(self) -> float:
+        """Seconds from start to end (to *now* while still open)."""
+        end = self.end if self.end is not None else time.perf_counter()
+        return max(0.0, end - self.start)
+
+    def set(self, **attrs: object) -> "Span":
+        """Attach attributes; returns self for chaining."""
+        self.attrs.update(attrs)
+        return self
+
+    def __enter__(self) -> "Span":
+        self._tracer._open(self)
+        self.start = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.end = time.perf_counter()
+        if exc is not None:
+            self.attrs.setdefault("error", repr(exc))
+        self._tracer._close(self)
+        return False
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = f"{self.duration * 1e3:.3f}ms" if self.end is not None \
+            else "open"
+        return f"Span({self.name!r}, {state}, children={len(self.children)})"
+
+
+class Tracer:
+    """Records a forest of :class:`Span` objects."""
+
+    enabled = True
+
+    def __init__(self) -> None:
+        self.roots: List[Span] = []
+        self._stack: List[Span] = []
+
+    # -- recording ---------------------------------------------------------
+
+    def span(self, name: str, **attrs: object) -> Span:
+        """A new span; time starts at ``__enter__``."""
+        return Span(name, self, attrs)
+
+    def add_completed(self, name: str, start: float, duration: float,
+                      attrs: Optional[Dict] = None) -> Span:
+        """Record an already-measured interval as a child of the current
+        span (a root if none is open).  For aggregates measured inline
+        by hot loops, e.g. the solver's constraint-adding/solving
+        alternation."""
+        span = Span(name, self, attrs)
+        span.start = start
+        span.end = start + max(0.0, duration)
+        self._attach(span)
+        return span
+
+    def current(self) -> Optional[Span]:
+        return self._stack[-1] if self._stack else None
+
+    # -- reading -----------------------------------------------------------
+
+    def iter_spans(self) -> Iterator[Tuple[Span, int]]:
+        """Every recorded span with its depth, pre-order."""
+        stack: List[Tuple[Span, int]] = [(s, 0) for s in
+                                         reversed(self.roots)]
+        while stack:
+            span, depth = stack.pop()
+            yield span, depth
+            for child in reversed(span.children):
+                stack.append((child, depth + 1))
+
+    def find(self, name: str) -> List[Span]:
+        """All spans with the given name, pre-order."""
+        return [span for span, _ in self.iter_spans() if span.name == name]
+
+    def phase_durations(self) -> Dict[str, float]:
+        """``phase.*`` root name (sans prefix) -> total seconds."""
+        out: Dict[str, float] = {}
+        for root in self.roots:
+            if root.name.startswith("phase."):
+                key = root.name[len("phase."):]
+                out[key] = out.get(key, 0.0) + root.duration
+        return out
+
+    # -- span tree maintenance --------------------------------------------
+
+    def _open(self, span: Span) -> None:
+        self._attach(span)
+        self._stack.append(span)
+
+    def _close(self, span: Span) -> None:
+        # Tolerate out-of-order exits (an exception unwinding through
+        # several open spans): pop through the target.
+        while self._stack:
+            top = self._stack.pop()
+            if top is span:
+                break
+            if top.end is None:
+                top.end = span.end
+
+    def _attach(self, span: Span) -> None:
+        parent = self.current()
+        span.parent = parent
+        if parent is not None:
+            parent.children.append(span)
+        else:
+            self.roots.append(span)
+
+
+class _NullSpan:
+    """Shared do-nothing span returned by :class:`NullTracer`."""
+
+    __slots__ = ()
+    name = ""
+    start = 0.0
+    end = 0.0
+    duration = 0.0
+    attrs: Dict[str, object] = {}
+    children: Tuple = ()
+    parent = None
+
+    def set(self, **attrs: object) -> "_NullSpan":
+        return self
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        return False
+
+
+NULL_SPAN = _NullSpan()
+
+
+class NullTracer:
+    """Disabled-mode tracer: records nothing, allocates nothing."""
+
+    enabled = False
+    roots: Tuple = ()
+
+    def span(self, name: str, **attrs: object) -> _NullSpan:
+        return NULL_SPAN
+
+    def add_completed(self, name: str, start: float, duration: float,
+                      attrs: Optional[Dict] = None) -> _NullSpan:
+        return NULL_SPAN
+
+    def current(self) -> None:
+        return None
+
+    def iter_spans(self) -> Iterator:
+        return iter(())
+
+    def find(self, name: str) -> List:
+        return []
+
+    def phase_durations(self) -> Dict[str, float]:
+        return {}
+
+
+NULL_TRACER = NullTracer()

@@ -44,6 +44,7 @@ from typing import Deque, Dict, FrozenSet, Iterable, Iterator, List, \
 
 from ..bounds import Budget, UNBOUNDED
 from ..callgraph.graph import CallGraph, CGNode
+from ..obs import DISABLED
 from ..ir import (ARRAY_CONTENTS, ArrayLoad, ArrayStore, Assign, Call, Cast,
                   ClassHierarchy, EnterCatch, Load, Method, New, NewArray,
                   Phi, Program, Return, Select, StaticLoad, StaticStore,
@@ -71,7 +72,8 @@ class PointerAnalysis:
                  natives: Optional[object] = None,
                  order: Optional[OrderingPolicy] = None,
                  budget: Budget = UNBOUNDED,
-                 excluded_classes: Optional[Set[str]] = None) -> None:
+                 excluded_classes: Optional[Set[str]] = None,
+                 obs: Optional[object] = None) -> None:
         self.program = program
         self.hierarchy = ClassHierarchy(program)
         self.policy = policy or ContextPolicy()
@@ -118,6 +120,12 @@ class PointerAnalysis:
         # Wall-clock seconds per solver phase (paper §6.1's alternation).
         self.phase_seconds = {"constraint_adding": 0.0,
                               "constraint_solving": 0.0}
+        # Observability (repro.obs): recorded once after the fixpoint —
+        # the hot propagation loop itself stays uninstrumented.
+        self.obs = DISABLED if obs is None else obs
+        self._worklist_peak = 0
+        self._scc_seconds = 0.0
+        self._solve_started = 0.0
 
     # ------------------------------------------------------------------ API
 
@@ -128,6 +136,7 @@ class PointerAnalysis:
             if node is not None:
                 self.call_graph.entrypoints.append(node)
         clock = time.perf_counter
+        self._solve_started = clock()
         while True:
             if self._budget_met():
                 self.truncated = True
@@ -156,6 +165,7 @@ class PointerAnalysis:
             self._collapse_cycles()
             self._solve_constraints()
             self.phase_seconds["constraint_solving"] += clock() - started
+        self._record_obs()
 
     def points_to(self, key: PointerKey) -> FrozenSet[InstanceKey]:
         """Immutable snapshot of a key's points-to set.
@@ -423,6 +433,10 @@ class PointerAnalysis:
     # ------------------------------------------------------ constraint solving
 
     def _solve_constraints(self) -> None:
+        # Worklist high-water mark, sampled once per drain (the deepest
+        # point is right after a node's constraints were added).
+        if len(self._worklist) > self._worklist_peak:
+            self._worklist_peak = len(self._worklist)
         find = self._scc.find
         # Fast-path probe: a key is merged iff it has a parent entry, so
         # the common (cycle-free) case pays one C-level dict get instead
@@ -489,6 +503,7 @@ class PointerAnalysis:
         """Run SCC detection rooted at the suspect edges and merge each
         cycle found.  Rooting at suspects keeps the sweep proportional
         to the subgraph they can reach, not the whole copy graph."""
+        scc_started = time.perf_counter()
         find = self._scc.find
         roots = [find(k) for k in self._suspect_srcs]
         self._suspect_srcs.clear()
@@ -501,6 +516,51 @@ class PointerAnalysis:
                 if winner_root is not loser_root:
                     self._merge_into(winner_root, loser_root)
                 winner = winner_root
+        self._scc_seconds += time.perf_counter() - scc_started
+
+    # ------------------------------------------------------ observability
+
+    def _record_obs(self) -> None:
+        """Publish kernel counters, sub-phase timers, and distribution
+        histograms to the observability bundle (one shot, post-solve)."""
+        obs = self.obs
+        if not obs.enabled:
+            return
+        metrics = obs.metrics
+        metrics.merge_counters(self.stats, prefix="pointer.")
+        for phase, seconds in self.phase_seconds.items():
+            metrics.record_time(f"pointer.{phase}", seconds)
+        metrics.record_time("pointer.scc_collapse", self._scc_seconds)
+        metrics.gauge_max("pointer.worklist_depth_peak",
+                          self._worklist_peak)
+        metrics.record_values("pointer.pts_set_size",
+                              [len(pts) for pts in self.pts.values()])
+        metrics.gauge("pointer.pts_keys", len(self.pts))
+        for name, value in self.call_graph.size_stats().items():
+            metrics.gauge(f"callgraph.{name}", value)
+        # Synthetic sub-phase spans: the alternation is measured inline
+        # (a span per pended node would swamp the trace), so the
+        # aggregates are emitted as pre-timed children laid end to end
+        # under the open phase.pointer_analysis span.
+        start = self._solve_started
+        adding = self.phase_seconds["constraint_adding"]
+        solving = self.phase_seconds["constraint_solving"]
+        tracer = obs.tracer
+        tracer.add_completed(
+            "pointer.constraint_adding", start, adding,
+            {"nodes_processed": self.stats["nodes_processed"],
+             "edges": self.stats["edges"]})
+        tracer.add_completed(
+            "pointer.constraint_solving", start + adding, solving,
+            {"propagations": self.stats["propagations"],
+             "coalesced_deltas": self.stats["coalesced_deltas"]})
+        if self._scc_seconds or self.stats["scc_runs"]:
+            tracer.add_completed(
+                "pointer.scc_collapse", start + adding + solving,
+                self._scc_seconds,
+                {"scc_runs": self.stats["scc_runs"],
+                 "cycles_collapsed": self.stats["cycles_collapsed"],
+                 "keys_merged": self.stats["keys_merged"]})
 
     def _merge_into(self, winner: PointerKey, loser: PointerKey) -> None:
         """Fold the loser's solver state into the winner (already

@@ -3,10 +3,11 @@
 from .lcp import FlowGroup, GroupKey, group_flows, remediation_of
 from .render import render_text
 from .sarif import render_sarif, to_sarif
+from .summary import render_metrics_table
 from .report import Issue, Report, build_report
 
 __all__ = [
     "FlowGroup", "GroupKey", "Issue", "Report", "build_report",
-    "group_flows", "remediation_of", "render_sarif", "render_text",
-    "to_sarif",
+    "group_flows", "remediation_of", "render_metrics_table",
+    "render_sarif", "render_text", "to_sarif",
 ]

@@ -6,6 +6,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
 from ..ir import Program
+from ..obs import DISABLED, Observability
 from ..taint.flows import TaintFlow
 from ..taint.rules import RuleSet
 from .lcp import FlowGroup, group_flows
@@ -61,9 +62,20 @@ def _line_of(program: Optional[Program], ref) -> int:
 
 
 def build_report(flows: List[TaintFlow], rules: RuleSet,
-                 program: Optional[Program] = None) -> Report:
-    """Group raw flows (paper §5) and render them as issues."""
+                 program: Optional[Program] = None,
+                 obs: Optional[Observability] = None) -> Report:
+    """Group raw flows (paper §5) and render them as issues.
+
+    With an observability bundle, the §5 grouping decision of every
+    member flow is recorded into the provenance audit, and the grouped/
+    raw counts into the metrics registry.
+    """
+    obs = obs or DISABLED
     groups = group_flows(flows, rules)
+    obs.audit.record_groups(groups)
+    obs.metrics.inc("report.issues", len(groups))
+    obs.metrics.inc("report.raw_flows", len(flows))
+    obs.metrics.inc("report.flows_grouped_away", len(flows) - len(groups))
     report = Report(raw_flow_count=len(flows))
     for group in groups:
         rep = group.representative

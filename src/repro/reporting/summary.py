@@ -1,0 +1,52 @@
+"""Plain-text rendering of a metrics-registry snapshot.
+
+Companion to :mod:`repro.reporting.render` for the observability layer:
+turns the nested :meth:`~repro.obs.metrics.MetricsRegistry.snapshot`
+dict into the aligned table the CLI prints under ``--stats``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+
+def _fmt(value) -> str:
+    if isinstance(value, bool):
+        return str(value)
+    if isinstance(value, float):
+        return f"{value:.4f}" if value != int(value) else f"{int(value)}"
+    return str(value)
+
+
+def render_metrics_table(snapshot: Dict[str, Dict],
+                         title: str = "analysis metrics") -> str:
+    """An aligned, sectioned table for one registry snapshot."""
+    out: List[str] = [title, "=" * len(title)]
+    if not snapshot:
+        out.append("(no metrics recorded)")
+        return "\n".join(out)
+
+    for section in ("counters", "gauges"):
+        entries = snapshot.get(section) or {}
+        if not entries:
+            continue
+        out.append("")
+        out.append(f"-- {section} --")
+        for name in sorted(entries):
+            out.append(f"  {name:<38} {_fmt(entries[name]):>12}")
+
+    for section in ("timers", "histograms"):
+        entries = snapshot.get(section) or {}
+        if not entries:
+            continue
+        unit = " (seconds)" if section == "timers" else ""
+        out.append("")
+        out.append(f"-- {section}{unit} --")
+        out.append(f"  {'name':<38} {'count':>7} {'total':>10} "
+                   f"{'p50':>10} {'p95':>10} {'max':>10}")
+        for name in sorted(entries):
+            s = entries[name]
+            out.append(
+                f"  {name:<38} {s['count']:>7} {s['total']:>10.4f} "
+                f"{s['p50']:>10.4f} {s['p95']:>10.4f} {s['max']:>10.4f}")
+    return "\n".join(out)

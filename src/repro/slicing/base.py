@@ -100,9 +100,18 @@ class Slicer:
         self.heap_graph = heap_graph
         self.budget = budget
         self.truncated = False
+        # Flows dropped by the §6.2.2 flow-length bound, summed over
+        # every rule sliced (fed by _collect via each strategy).
+        self.suppressed_by_length = 0
 
     def slice_rule(self, rule: SecurityRule) -> List[TaintFlow]:
         raise NotImplementedError
+
+    def _collect(self, collector: FlowCollector) -> List[TaintFlow]:
+        """Drain a rule's collector, accumulating its suppression count
+        onto the slicer."""
+        self.suppressed_by_length += collector.suppressed_by_length
+        return collector.flows()
 
     def make_carrier_index(self, adapter) -> CarrierIndex:
         return CarrierIndex(self.sdg, self.direct, self.heap_graph,

@@ -37,7 +37,7 @@ class CISlicer(Slicer):
         collector = FlowCollector(rule, self.budget)
         for seed in enumerate_sources(self.sdg, rule):
             self._trace(seed, adapter, carriers, collector)
-        return collector.flows()
+        return self._collect(collector)
 
     def _trace(self, seed: SourceSeed, adapter: RuleAdapter, carriers,
                collector: FlowCollector) -> None:

@@ -206,4 +206,4 @@ class CSSlicer(Slicer):
                         tab.seed_origin(seed.origin_id, method,
                                         f"@f:{fld}:{ikey}", Meta(1))
         tab.run()
-        return collector.flows()
+        return self._collect(collector)

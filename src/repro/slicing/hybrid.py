@@ -70,7 +70,7 @@ class HybridSlicer(Slicer):
                 self._seed_ref_source(tab, seed, arg, carriers, collector,
                                       seeded_loads)
         tab.run()
-        return collector.flows()
+        return self._collect(collector)
 
     # -- heap expansion ----------------------------------------------------------
 

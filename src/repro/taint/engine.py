@@ -7,10 +7,12 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
 from ..bounds import Budget, BudgetExhausted, StateMeter
+from ..obs import DISABLED
 from ..pointer.heapgraph import HeapGraph
 from ..sdg.hsdg import DirectEdges
 from ..sdg.noheap import NoHeapSDG
 from ..slicing import CISlicer, CSSlicer, HybridSlicer, Slicer
+from ..slicing.base import enumerate_sources
 from .flows import TaintFlow
 from .rules import RuleSet
 
@@ -51,16 +53,21 @@ class TaintEngine:
 
     def __init__(self, sdg: NoHeapSDG, direct: DirectEdges,
                  heap_graph: HeapGraph, rules: RuleSet, budget: Budget,
-                 strategy: str = "hybrid") -> None:
+                 strategy: str = "hybrid", obs: Optional[object] = None
+                 ) -> None:
         self.sdg = sdg
         self.direct = direct
         self.heap_graph = heap_graph
         self.rules = rules
         self.budget = budget
         self.strategy = strategy
+        self.obs = DISABLED if obs is None else obs
 
     def run(self) -> TaintResult:
         started = time.perf_counter()
+        obs = self.obs
+        tracer = obs.tracer
+        audit = obs.audit
         result = TaintResult()
         meter = StateMeter(self.budget.max_state_units)
         slicer = make_slicer(self.strategy, self.sdg, self.direct,
@@ -73,7 +80,17 @@ class TaintEngine:
                 # up front — the paper's scalability bottleneck.
                 meter.charge(sum(len(v) for v in modref.values()))
             for rule in self.rules:
-                flows = slicer.slice_rule(rule)
+                with tracer.span("taint.rule", rule=rule.name) as span:
+                    flows = slicer.slice_rule(rule)
+                    span.set(flows=len(flows))
+                if audit.enabled:
+                    # The witness chain starts at the rule's enumerated
+                    # source seeds; each surviving flow records what was
+                    # consulted on its way into the report.
+                    seeds = len(enumerate_sources(self.sdg, rule))
+                    audit.record_rule(rule, seeds, len(flows))
+                    for flow in flows:
+                        audit.record_flow(flow, rule, seeds)
                 result.flows.extend(flows)
         except BudgetExhausted as exc:
             result.failed = True
@@ -81,5 +98,14 @@ class TaintEngine:
             result.flows = []
         result.state_units = meter.used
         result.truncated = slicer.truncated
+        result.suppressed_by_length = slicer.suppressed_by_length
         result.seconds = time.perf_counter() - started
+        metrics = obs.metrics
+        metrics.inc("taint.rules_consulted", len(self.rules))
+        metrics.inc("taint.flows", len(result.flows))
+        metrics.inc("taint.suppressed_by_length",
+                    result.suppressed_by_length)
+        metrics.gauge("taint.state_units", result.state_units)
+        if result.failed:
+            metrics.inc("taint.budget_failures")
         return result

@@ -108,6 +108,52 @@ def test_dynamic_flag(app_file, capsys):
     assert "src:" in out
 
 
+def test_trace_and_metrics_files(app_file, tmp_path, capsys):
+    trace = tmp_path / "trace.json"
+    jsonl = tmp_path / "trace.jsonl"
+    metrics = tmp_path / "metrics.json"
+    code = main(["--trace", str(trace), "--trace-jsonl", str(jsonl),
+                 "--metrics", str(metrics), app_file])
+    capsys.readouterr()
+    assert code == 1
+
+    payload = json.loads(trace.read_text())
+    names = {event["name"] for event in payload["traceEvents"]}
+    assert {"phase.modeling", "phase.pointer_analysis", "phase.sdg",
+            "phase.taint", "phase.reporting"} <= names
+    assert all(event["ph"] == "X" for event in payload["traceEvents"])
+
+    rows = [json.loads(line) for line in
+            jsonl.read_text().splitlines()]
+    assert len(rows) == len(payload["traceEvents"])
+
+    snapshot = json.loads(metrics.read_text())
+    assert snapshot["counters"]["pointer.propagations"] > 0
+    assert snapshot["gauges"]["memory.peak_bytes"] > 0
+    assert snapshot["timers"]["pointer.constraint_solving"]["count"] == 1
+
+
+def test_audit_file(app_file, tmp_path, capsys):
+    audit = tmp_path / "audit.json"
+    main(["--audit", str(audit), app_file])
+    capsys.readouterr()
+    payload = json.loads(audit.read_text())
+    assert payload["flows"], "the XSS flow must leave a witness"
+    witness = payload["flows"][0]
+    assert witness["rule"] == "XSS"
+    assert witness["grouping"]["representative"] is True
+    assert any(r["rule"] == "XSS" and r["seeds"] > 0
+               for r in payload["rules_consulted"])
+
+
+def test_stats_prints_metrics_table(app_file, capsys):
+    main(["--stats", app_file])
+    out = capsys.readouterr().out
+    assert "analysis metrics" in out
+    assert "pointer.propagations" in out
+    assert "-- timers (seconds) --" in out
+
+
 def test_multiple_files(tmp_path, capsys):
     a = tmp_path / "a.jlang"
     a.write_text("class Util { static String id(String v) "

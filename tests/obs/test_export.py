@@ -1,0 +1,88 @@
+"""Exporters: Chrome trace-event schema, JSONL spans, JSON writers."""
+
+import json
+
+from repro.obs import (Tracer, chrome_trace_events, span_dicts,
+                       write_chrome_trace, write_metrics_json,
+                       write_spans_jsonl)
+
+
+def _sample_tracer():
+    tracer = Tracer()
+    with tracer.span("phase.pointer_analysis", cg_nodes=6) as span:
+        tracer.add_completed("pointer.constraint_adding", span.start,
+                             0.001)
+    with tracer.span("phase.taint"):
+        pass
+    return tracer
+
+
+def test_chrome_trace_event_schema():
+    events = chrome_trace_events(_sample_tracer())
+    assert len(events) == 3
+    for event in events:
+        assert set(event) == {"name", "cat", "ph", "ts", "dur", "pid",
+                              "tid", "args"}
+        assert event["ph"] == "X"
+        assert event["cat"] == "taj"
+        assert isinstance(event["ts"], float)
+        assert isinstance(event["dur"], float)
+        assert event["ts"] >= 0.0 and event["dur"] >= 0.0
+    # Timestamps are rebased: the earliest span starts at t=0.
+    assert min(e["ts"] for e in events) == 0.0
+
+
+def test_chrome_trace_args_are_json_primitives():
+    tracer = Tracer()
+    with tracer.span("phase.sdg", call_sites=5, obj=object()):
+        pass
+    (event,) = chrome_trace_events(tracer)
+    assert event["args"]["call_sites"] == 5
+    assert isinstance(event["args"]["obj"], str)
+    json.dumps(event)
+
+
+def test_chrome_trace_empty_tracer():
+    assert chrome_trace_events(Tracer()) == []
+
+
+def test_write_chrome_trace_file(tmp_path):
+    path = tmp_path / "trace.json"
+    count = write_chrome_trace(_sample_tracer(), str(path),
+                               metadata={"config": "hybrid-optimized"})
+    payload = json.loads(path.read_text())
+    assert count == 3
+    assert payload["displayTimeUnit"] == "ms"
+    assert payload["otherData"] == {"config": "hybrid-optimized"}
+    assert [e["name"] for e in payload["traceEvents"]] == [
+        "phase.pointer_analysis", "pointer.constraint_adding",
+        "phase.taint"]
+
+
+def test_span_dicts_depth_and_parent():
+    rows = span_dicts(_sample_tracer())
+    assert [(r["name"], r["depth"], r["parent"]) for r in rows] == [
+        ("phase.pointer_analysis", 0, None),
+        ("pointer.constraint_adding", 1, "phase.pointer_analysis"),
+        ("phase.taint", 0, None)]
+    for row in rows:
+        assert row["end_s"] >= row["start_s"]
+        assert row["duration_s"] >= 0.0
+
+
+def test_write_spans_jsonl(tmp_path):
+    path = tmp_path / "spans.jsonl"
+    count = write_spans_jsonl(_sample_tracer(), str(path))
+    lines = path.read_text().splitlines()
+    assert count == len(lines) == 3
+    first = json.loads(lines[0])
+    assert first["name"] == "phase.pointer_analysis"
+    assert first["attrs"] == {"cg_nodes": 6}
+
+
+def test_write_metrics_json_round_trip(tmp_path):
+    path = tmp_path / "metrics.json"
+    snapshot = {"counters": {"a": 1}, "gauges": {},
+                "timers": {}, "histograms": {}}
+    write_metrics_json(snapshot, str(path))
+    assert json.loads(path.read_text()) == snapshot

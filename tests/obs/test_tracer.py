@@ -1,0 +1,124 @@
+"""Span tracer: nesting, attributes, disabled mode."""
+
+import pytest
+
+from repro.obs import NULL_TRACER, Tracer
+from repro.obs.tracer import NULL_SPAN
+
+
+def test_nested_spans_form_a_tree():
+    tracer = Tracer()
+    with tracer.span("phase.outer"):
+        with tracer.span("inner.a"):
+            pass
+        with tracer.span("inner.b"):
+            with tracer.span("inner.b.leaf"):
+                pass
+    assert len(tracer.roots) == 1
+    outer = tracer.roots[0]
+    assert [c.name for c in outer.children] == ["inner.a", "inner.b"]
+    assert outer.children[1].children[0].name == "inner.b.leaf"
+    assert outer.children[1].children[0].parent is outer.children[1]
+
+
+def test_pre_order_iteration_with_depths():
+    tracer = Tracer()
+    with tracer.span("a"):
+        with tracer.span("b"):
+            pass
+    with tracer.span("c"):
+        pass
+    walk = [(span.name, depth) for span, depth in tracer.iter_spans()]
+    assert walk == [("a", 0), ("b", 1), ("c", 0)]
+
+
+def test_attributes_at_open_and_via_set():
+    tracer = Tracer()
+    with tracer.span("phase.pointer_analysis", budget=100) as span:
+        span.set(cg_nodes=7, truncated=False)
+    assert span.attrs == {"budget": 100, "cg_nodes": 7,
+                          "truncated": False}
+
+
+def test_durations_are_monotonic_and_contained():
+    tracer = Tracer()
+    with tracer.span("outer"):
+        with tracer.span("inner"):
+            pass
+    outer, inner = tracer.roots[0], tracer.roots[0].children[0]
+    assert outer.end is not None and inner.end is not None
+    assert outer.start <= inner.start <= inner.end <= outer.end
+    assert outer.duration >= inner.duration >= 0.0
+
+
+def test_exception_closes_span_and_records_error():
+    tracer = Tracer()
+    with pytest.raises(ValueError):
+        with tracer.span("phase.taint"):
+            raise ValueError("budget exhausted")
+    span = tracer.roots[0]
+    assert span.end is not None
+    assert "budget exhausted" in span.attrs["error"]
+    assert tracer.current() is None
+
+
+def test_exception_unwinding_closes_intermediate_spans():
+    tracer = Tracer()
+    outer = tracer.span("outer")
+    inner = tracer.span("inner")
+    outer.__enter__()
+    inner.__enter__()
+    # Simulate the outer handler exiting while inner is still open.
+    outer.__exit__(None, None, None)
+    assert inner.end is not None
+    assert tracer.current() is None
+
+
+def test_add_completed_attaches_under_current_span():
+    tracer = Tracer()
+    with tracer.span("phase.pointer_analysis"):
+        tracer.add_completed("pointer.constraint_adding", 10.0, 0.5,
+                             {"rounds": 3})
+        tracer.add_completed("pointer.constraint_solving", 10.5, 1.5)
+    root = tracer.roots[0]
+    names = [c.name for c in root.children]
+    assert names == ["pointer.constraint_adding",
+                     "pointer.constraint_solving"]
+    adding = root.children[0]
+    assert adding.start == 10.0 and adding.end == 10.5
+    assert adding.attrs == {"rounds": 3}
+    assert root.children[1].duration == pytest.approx(1.5)
+
+
+def test_find_and_phase_durations():
+    tracer = Tracer()
+    with tracer.span("phase.modeling"):
+        with tracer.span("modeling.ssa"):
+            pass
+    with tracer.span("phase.taint"):
+        pass
+    assert [s.name for s in tracer.find("modeling.ssa")] \
+        == ["modeling.ssa"]
+    durations = tracer.phase_durations()
+    assert set(durations) == {"modeling", "taint"}
+    assert all(v >= 0.0 for v in durations.values())
+
+
+def test_null_tracer_records_nothing():
+    span = NULL_TRACER.span("phase.modeling", files=2)
+    assert span is NULL_SPAN
+    with span as s:
+        s.set(anything=1)
+    assert NULL_TRACER.roots == ()
+    assert list(NULL_TRACER.iter_spans()) == []
+    assert NULL_TRACER.find("phase.modeling") == []
+    assert NULL_TRACER.phase_durations() == {}
+    assert not NULL_TRACER.enabled
+
+
+def test_null_span_is_shared_and_stateless():
+    a = NULL_TRACER.span("a", x=1)
+    b = NULL_TRACER.span("b")
+    assert a is b
+    a.set(y=2)
+    assert NULL_SPAN.attrs == {}
