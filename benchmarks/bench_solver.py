@@ -102,10 +102,14 @@ def bench_suite(programs: List[List[str]],
     }
     opt_extra = {"cycles_collapsed": 0, "keys_merged": 0,
                  "coalesced_deltas": 0, "scc_runs": 0}
+    degraded_runs = 0
     for prepared in prepareds:
         seed, seed_t = run_solver(SeedPointerAnalysis, prepared, repeats)
         opt, opt_t = run_solver(PointerAnalysis, prepared, repeats,
                                 obs=obs)
+        if getattr(opt, "truncated", False) or \
+                getattr(seed, "truncated", False):
+            degraded_runs += 1
         if canonical(seed) != canonical(opt):
             raise AssertionError(
                 "differential mismatch: optimised solver diverged from "
@@ -123,6 +127,12 @@ def bench_suite(programs: List[List[str]],
     # Counters aggregate over programs x repeats; the timer histograms
     # get one sample per solve, which is what makes p50/p95 meaningful.
     metrics["metrics_registry"] = obs.metrics.snapshot()
+    # Resilience record (docs/robustness.md): numbers from a degraded
+    # (budget/deadline-truncated) solve are not comparable to complete
+    # ones, so the artifact says which kind this suite produced.
+    metrics["completeness"] = ("complete" if degraded_runs == 0
+                               else "partial-budget")
+    metrics["degraded_runs"] = degraded_runs
     seed_wall = metrics["seed"]["wall_s"]
     metrics["reduction_percent"] = round(
         100.0 * (seed_wall - metrics["optimized"]["wall_s"]) / seed_wall, 1)

@@ -32,6 +32,15 @@ class RunRecord:
     # Metrics-registry snapshot (counters/gauges/timers/histograms) for
     # this run — the full observability picture, not just the kernel.
     metrics: Dict[str, Dict] = field(default_factory=dict)
+    # Resilience record (docs/robustness.md): whether this cell's
+    # numbers came from a complete run, and which ladder rungs it
+    # descended to get them.
+    completeness: str = "complete"
+    degradations: List[Dict[str, str]] = field(default_factory=list)
+    # Set when the run (or the app's shared modeling) raised instead of
+    # returning a result — the harness isolates the failure to this cell
+    # and keeps benchmarking the rest of the suite.
+    error: Optional[str] = None
 
 
 @dataclass
@@ -57,32 +66,69 @@ def default_configs() -> List[TAJConfig]:
     return TAJConfig.all_presets()
 
 
+def _failure_record(app: GeneratedApp, config: TAJConfig,
+                    exc: Exception) -> RunRecord:
+    """A cell for a run that raised instead of returning a result."""
+    score = Score(app=app.spec.name, config=config.name, failed=True)
+    score.fn = sum(1 for p in app.planted if p.is_true_positive)
+    score.missed = [p for p in app.planted if p.is_true_positive]
+    return RunRecord(app=app.spec.name, config=config.name, issues=0,
+                     seconds=0.0, failed=True, cg_nodes=0, score=score,
+                     completeness="failed",
+                     error=f"{type(exc).__name__}: {exc}")
+
+
 def run_suite(apps: Optional[Dict[str, GeneratedApp]] = None,
               configs: Optional[List[TAJConfig]] = None,
-              app_names: Optional[List[str]] = None) -> SuiteResults:
+              app_names: Optional[List[str]] = None,
+              isolate: bool = True) -> SuiteResults:
     """Run every configuration on every app; the modeled program is
-    prepared once per app and shared across configurations."""
+    prepared once per app and shared across configurations.
+
+    With ``isolate`` (the default), a run that raises is recorded as a
+    failed cell for that (app, config) alone — one crashing app or
+    configuration cannot take down the rest of the sweep.  Pass
+    ``isolate=False`` to let exceptions propagate (debugging).
+    """
     if apps is None:
         apps = generate_suite(app_names)
     configs = configs if configs is not None else default_configs()
     results = SuiteResults()
     for name in sorted(apps):
         app = apps[name]
-        prepared = prepare(app.sources, app.deployment_descriptor)
+        try:
+            prepared = prepare(app.sources, app.deployment_descriptor)
+        except Exception as exc:
+            if not isolate:
+                raise
+            # The shared modeling phase died: every cell of this app's
+            # row fails, the remaining apps still run.
+            for config in configs:
+                results.records.append(_failure_record(app, config, exc))
+            continue
         whitelist_extra = frozenset(benign_lib_classes(app))
         for config in configs:
             run_config = config
             if config.use_whitelist:
                 run_config = replace(config,
                                      whitelist_extra=whitelist_extra)
-            result = TAJ(run_config).analyze_prepared(prepared)
+            try:
+                result = TAJ(run_config).analyze_prepared(prepared)
+            except Exception as exc:
+                if not isolate:
+                    raise
+                results.records.append(_failure_record(app, config, exc))
+                continue
             score = score_run(app, result)
             results.records.append(RunRecord(
                 app=name, config=config.name, issues=result.issues,
                 seconds=result.times.total, failed=result.failed,
                 cg_nodes=result.cg_nodes, score=score,
                 solver_stats=result.solver_stats(),
-                metrics=result.metrics))
+                metrics=result.metrics,
+                completeness=result.completeness,
+                degradations=[d.to_dict()
+                              for d in result.degradations]))
     return results
 
 

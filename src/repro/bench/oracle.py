@@ -47,6 +47,9 @@ class Score:
 
 
 def _issue_keys(result: TAJResult) -> Set[Tuple[str, str]]:
+    if result.report is None:
+        # A degraded run may carry flows but no grouped report.
+        return set()
     return {(issue.rule, issue.sink.split("@")[0])
             for issue in result.report.issues}
 

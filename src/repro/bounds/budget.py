@@ -23,7 +23,13 @@ from typing import Optional
 
 
 class BudgetExhausted(Exception):
-    """Raised when a hard budget (memory emulation) is exceeded."""
+    """Raised when a hard budget (memory emulation) is exceeded.
+
+    A trigger of the degradation ladder (``repro.resilience``): the
+    taint engine catches it per rule, keeps the flows already
+    collected, and — when the ladder is enabled — retries the rule with
+    the next cheaper slicing strategy.
+    """
 
     def __init__(self, dimension: str, limit: int) -> None:
         self.dimension = dimension

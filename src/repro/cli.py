@@ -25,6 +25,8 @@ import sys
 from typing import Dict, List, Optional
 
 from .core import TAJ, TAJConfig
+from .lang import lower_sources, parse
+from .lang.errors import SourceError
 from .obs import (Observability, write_audit_json, write_chrome_trace,
                   write_metrics_json, write_spans_jsonl)
 from .reporting import render_metrics_table, render_text
@@ -83,7 +85,50 @@ def build_parser() -> argparse.ArgumentParser:
                         help="override the call-graph node budget")
     parser.add_argument("--flow-length", type=int, metavar="N",
                         help="override the flow-length bound")
+    parser.add_argument("--deadline", type=float, metavar="SECONDS",
+                        help="wall-clock budget for the analysis; on "
+                             "expiry the pipeline degrades and reports "
+                             "partial results (docs/robustness.md)")
+    parser.add_argument("--keep-going", action="store_true",
+                        help="resilient mode: quarantine source files "
+                             "that fail to compile and walk the "
+                             "degradation ladder on budget/deadline "
+                             "trips instead of aborting")
     return parser
+
+
+def _frontend_diagnostics(paths: List[str],
+                          sources: List[str]) -> List[str]:
+    """Re-compile the corpus piecewise to attribute frontend errors.
+
+    Lex/parse errors attribute exactly per file.  For lowering errors
+    the program is regrown one file at a time; the file whose addition
+    trips the error is reported (it may only be broken in combination
+    with its predecessors, e.g. a duplicate class across files).
+    """
+    lines = []
+    parsed = []
+    for path, source in zip(paths, sources):
+        try:
+            parse(source)
+            parsed.append((path, source))
+        except SourceError as exc:
+            kind = type(exc).__name__
+            lines.append(f"{path}: [frontend] {kind}: {exc}")
+    if not lines:
+        for index in range(len(parsed)):
+            try:
+                lower_sources([src for _, src in parsed[:index + 1]])
+            except SourceError as exc:
+                kind = type(exc).__name__
+                lines.append(f"{parsed[index][0]}: [frontend] "
+                             f"{kind}: {exc}")
+                break
+    if not lines:
+        lines.append("[frontend] SourceError: sources do not form a "
+                     "consistent program (duplicate or conflicting "
+                     "classes across files)")
+    return lines
 
 
 def _load_descriptor(path: Optional[str]) -> Optional[Dict[str, str]]:
@@ -112,13 +157,33 @@ def main(argv: Optional[List[str]] = None) -> int:
         overrides["max_flow_length"] = args.flow_length
     if overrides:
         config = config.with_budget(**overrides)
+    if args.deadline is not None or args.keep_going:
+        config = config.with_resilience(deadline_seconds=args.deadline,
+                                        resilient=args.keep_going)
     rules = extended_rules() if args.rules == "extended" \
         else default_rules()
 
     obs = Observability(audit=args.audit is not None,
                         memory=args.metrics is not None)
-    result = TAJ(config, rules=rules, obs=obs).analyze_sources(
-        sources, deployment_descriptor=descriptor)
+    try:
+        result = TAJ(config, rules=rules, obs=obs).analyze_sources(
+            sources, deployment_descriptor=descriptor)
+    except SourceError:
+        # Strict mode (no --keep-going): a broken source aborts the
+        # run.  Re-parse each file individually so every failure is
+        # reported as a structured diagnostic with its file name.
+        for line in _frontend_diagnostics(args.files, sources):
+            print(line, file=sys.stderr)
+        print("analysis failed: broken input (use --keep-going to "
+              "quarantine broken files)", file=sys.stderr)
+        return 2
+
+    for diag in result.diagnostics:
+        prefix = ""
+        if diag.source_index is not None and \
+                diag.source_index < len(args.files):
+            prefix = f"{args.files[diag.source_index]}: "
+        print(f"{prefix}{diag.render()}", file=sys.stderr)
 
     if args.trace:
         write_chrome_trace(obs.tracer, args.trace,
@@ -137,19 +202,36 @@ def main(argv: Optional[List[str]] = None) -> int:
     elif args.json:
         payload = {
             "config": config.name,
-            "issues": result.report.to_dicts(),
+            "issues": result.report.to_dicts() if result.report else [],
             "raw_flows": result.raw_flows,
             "call_graph_nodes": result.cg_nodes,
             "failed": result.failed,
             "truncated": result.truncated,
+            "completeness": result.completeness,
             "seconds": round(result.times.total, 4),
         }
+        if result.degradations:
+            payload["degradations"] = [d.to_dict()
+                                       for d in result.degradations]
+        if result.diagnostics:
+            payload["diagnostics"] = [d.to_dict()
+                                      for d in result.diagnostics]
         if args.stats:
             payload["stats"] = result.solver_stats()
         print(json.dumps(payload, indent=2))
     else:
-        print(render_text(result.report,
-                          title=f"TAJ report ({config.name})"))
+        if result.report is not None:
+            print(render_text(result.report,
+                              title=f"TAJ report ({config.name})"))
+        else:
+            print(f"TAJ report ({config.name}): no report — the run "
+                  f"ended '{result.completeness}' before reporting "
+                  f"({result.raw_flows} raw flows collected)")
+        if result.completeness not in ("complete",):
+            print(f"\ncompleteness: {result.completeness}")
+            for deg in result.degradations:
+                print(f"  degraded: {deg.phase} [{deg.trigger}] "
+                      f"-> {deg.fallback}")
         if result.failed:
             print(f"\nanalysis failed: {result.failure}")
         elif result.truncated:
@@ -177,7 +259,15 @@ def main(argv: Optional[List[str]] = None) -> int:
                   f"{witness.sink_method} "
                   f"(labels: {', '.join(sorted(witness.labels))})")
 
-    return 1 if result.issues else 0
+    # Exit codes: 2 = the run failed (an essential phase died or a hard
+    # budget aborted it); 1 = issues found, or the run was only partial
+    # (a clean bill of health from a degraded run is not trustworthy);
+    # 0 = complete run, no issues.
+    if result.failed or result.completeness == "failed":
+        return 2
+    if result.issues or result.completeness != "complete":
+        return 1
+    return 0
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -56,12 +56,28 @@ class TAJConfig:
     collections_unlimited: bool = True
     factory_call_strings: bool = True
     taint_api_call_strings: bool = True
+    # Resilience (repro.resilience, docs/robustness.md).  A wall-clock
+    # budget alongside the §6 work budgets; ``None`` disables it.
+    deadline_seconds: Optional[float] = None
+    # Graceful-degradation mode: quarantine source units that fail the
+    # frontend, and descend the slicing ladder (cs → hybrid → ci) on
+    # budget/deadline exhaustion instead of aborting the rule sweep.
+    # Off by default so the paper's CS out-of-memory reproduction (and
+    # the strict-frontend contract) are preserved.
+    resilient: bool = False
 
     def with_budget(self, **kwargs) -> "TAJConfig":
         budget = self.budget.copy()
         for key, value in kwargs.items():
             setattr(budget, key, value)
         return replace(self, budget=budget)
+
+    def with_resilience(self, deadline_seconds: Optional[float] = None,
+                        resilient: bool = True) -> "TAJConfig":
+        """This configuration with graceful degradation enabled (and,
+        optionally, a wall-clock deadline)."""
+        return replace(self, deadline_seconds=deadline_seconds,
+                       resilient=resilient)
 
     # -- the five Table 1 presets ------------------------------------------
 

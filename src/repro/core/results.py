@@ -6,6 +6,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
 from ..reporting import Report
+from ..resilience import COMPLETE, Degradation, Diagnostic
 from ..taint.flows import TaintFlow
 
 # Legacy solver-stat keys, used when no metrics snapshot was recorded
@@ -61,6 +62,14 @@ class TAJResult:
     # The flow-provenance audit payload (empty unless audit mode was
     # enabled): per-flow witness chains + per-rule consultations.
     provenance: Dict[str, object] = field(default_factory=dict)
+    # Resilience record (repro.resilience, docs/robustness.md):
+    # ``completeness`` summarizes whether these numbers came from a
+    # complete run ("complete") or a degraded one ("partial-budget" /
+    # "partial-deadline" / "partial-fault" / "failed"); each rung
+    # descended is a Degradation, each absorbed failure a Diagnostic.
+    completeness: str = COMPLETE
+    degradations: List[Degradation] = field(default_factory=list)
+    diagnostics: List[Diagnostic] = field(default_factory=list)
 
     def solver_stats(self) -> Dict[str, float]:
         """The pointer-solver kernel's counters and phase times.

@@ -14,6 +14,15 @@ to keep (and export) the trace, metrics, and provenance audit; without
 one, each call gets a private bundle whose registry snapshot lands in
 ``TAJResult.metrics``.
 
+Resilience (``docs/robustness.md``): every phase is guarded by the
+run's :class:`~repro.resilience.ResilienceContext`, built from the
+config's ``deadline_seconds`` / ``resilient`` knobs plus an optional
+:class:`~repro.resilience.FaultPlan`.  When nothing is armed the
+context is inert and the legacy contract holds — exceptions propagate.
+When armed, a phase failure is folded into the returned
+:class:`TAJResult` instead: structured diagnostics, recorded
+degradations, and a ``completeness`` verdict.
+
 Typical use::
 
     from repro import TAJ, TAJConfig
@@ -37,6 +46,8 @@ from ..pointer import (ChaoticOrder, ContextPolicy, PointerAnalysis,
                        PolicyConfig)
 from ..pointer.heapgraph import HeapGraph
 from ..reporting import build_report
+from ..resilience import (COMPLETE, FAILED, Deadline, DeadlineExceeded,
+                          FaultPlan, ResilienceContext)
 from ..sdg.hsdg import DirectEdges
 from ..sdg.noheap import NoHeapSDG
 from ..slicing.cs import CSExtendedSDG
@@ -50,10 +61,14 @@ class TAJ:
 
     def __init__(self, config: Optional[TAJConfig] = None,
                  rules: Optional[RuleSet] = None,
-                 obs: Optional[Observability] = None) -> None:
+                 obs: Optional[Observability] = None,
+                 faults: Optional[FaultPlan] = None) -> None:
         self.config = config or TAJConfig.hybrid_optimized()
         self.rules = rules or default_rules()
         self.obs = obs
+        # A scripted fault plan (repro.resilience.faults); installed at
+        # the pipeline's seams for every analyze_* call.
+        self.faults = faults
 
     # -- public API ------------------------------------------------------------
 
@@ -65,74 +80,129 @@ class TAJ:
                         ) -> TAJResult:
         """Model + analyze jlang application sources."""
         obs = self._resolve_obs(obs)
-        with obs.tracer.span("phase.modeling",
-                             sources=len(sources)) as span:
-            prepared = prepare(sources, deployment_descriptor,
-                               self.config.models, extra_entrypoints,
-                               obs=obs)
+        res = self._make_resilience()
+        try:
+            with obs.tracer.span("phase.modeling",
+                                 sources=len(sources)) as span:
+                prepared = prepare(sources, deployment_descriptor,
+                                   self.config.models, extra_entrypoints,
+                                   obs=obs,
+                                   resilience=res if res.active else None)
+        except Exception as exc:
+            if not res.active:
+                raise
+            if isinstance(exc, DeadlineExceeded):
+                # A deadline expiry is never a failure — the (empty)
+                # result is partial, same as at every later phase.
+                res.degrade("modeling", "deadline", "abort", str(exc))
+            else:
+                # Modeling is otherwise essential: without a program
+                # there is nothing to analyze.
+                res.fail("modeling", exc)
+            result = TAJResult(config_name=self.config.name,
+                               times=PhaseTimes(modeling=span.duration))
+            return self._finalize(result, res, obs)
         obs.sample_memory()
         times = PhaseTimes(modeling=span.duration)
-        return self.analyze_prepared(prepared, times, obs=obs)
+        return self.analyze_prepared(prepared, times, obs=obs,
+                                     resilience=res)
 
     def analyze_prepared(self, prepared: PreparedProgram,
                          times: Optional[PhaseTimes] = None,
-                         obs: Optional[Observability] = None) -> TAJResult:
+                         obs: Optional[Observability] = None,
+                         resilience: Optional[ResilienceContext] = None
+                         ) -> TAJResult:
         """Analyze an already modeled program (lets callers share the
         modeling phase across configurations)."""
         config = self.config
         obs = self._resolve_obs(obs)
         tracer = obs.tracer
+        res = resilience or self._make_resilience()
+        armed = res if res.active else None
         times = times or PhaseTimes()
         result = TAJResult(config_name=config.name, times=times)
         program = prepared.program
 
         # ---- stage 1: pointer analysis + call graph -----------------------
-        with tracer.span("phase.pointer_analysis",
-                         config=config.name) as span:
-            policy = ContextPolicy(self._policy_config())
-            order = self._ordering(config)
-            excluded = set()
-            if config.use_whitelist:
-                excluded = set(prepared.whitelist) | {
-                    name for name in config.whitelist_extra
-                    if (cls := program.get_class(name)) and cls.is_library}
-            analysis = PointerAnalysis(
-                program, policy, natives=default_natives(), order=order,
-                budget=config.budget,
-                excluded_classes=excluded, obs=obs)
-            analysis.solve()
-            span.set(cg_nodes=analysis.call_graph.node_count(),
-                     truncated=analysis.truncated)
+        try:
+            with tracer.span("phase.pointer_analysis",
+                             config=config.name) as span:
+                policy = ContextPolicy(self._policy_config())
+                order = self._ordering(config)
+                excluded = set()
+                if config.use_whitelist:
+                    excluded = set(prepared.whitelist) | {
+                        name for name in config.whitelist_extra
+                        if (cls := program.get_class(name))
+                        and cls.is_library}
+                analysis = PointerAnalysis(
+                    program, policy, natives=default_natives(),
+                    order=order, budget=config.budget,
+                    excluded_classes=excluded, obs=obs, resilience=armed)
+                analysis.solve()
+                span.set(cg_nodes=analysis.call_graph.node_count(),
+                         truncated=analysis.truncated)
+        except Exception as exc:
+            if armed is None:
+                raise
+            res.fail("pointer_analysis", exc)
+            times.pointer_analysis = span.duration
+            return self._finalize(result, res, obs)
         times.pointer_analysis = span.duration
         obs.sample_memory()
         result.cg_nodes = analysis.call_graph.node_count()
         result.cg_edges = analysis.call_graph.edge_count()
         result.truncated = analysis.truncated
+        if analysis.deadline_exceeded:
+            # The solver stopped on the wall clock and kept a partial
+            # call graph — the deadline analogue of the node budget.
+            res.degrade("pointer_analysis", "deadline",
+                        "truncate-callgraph")
 
         # ---- stage 2: dependence graphs + taint tracking ---------------------
-        with tracer.span("phase.sdg", strategy=config.slicing) as span:
-            with tracer.span("sdg.build"):
-                if config.slicing == "cs":
-                    sdg = CSExtendedSDG(program, analysis.call_graph,
-                                        analysis)
-                else:
-                    sdg = NoHeapSDG(program, analysis.call_graph)
-            with tracer.span("sdg.direct_edges"):
-                direct = DirectEdges(sdg, analysis)
-            with tracer.span("sdg.heap_graph"):
-                heap_graph = HeapGraph(analysis)
-            obs.metrics.gauge("sdg.call_sites",
-                              sum(len(sites) for sites
-                                  in sdg.call_sites.values()))
-        times.sdg = span.duration
+        try:
+            if armed is not None:
+                armed.check("sdg.build", phase="sdg")
+            with tracer.span("phase.sdg", strategy=config.slicing) as span:
+                with tracer.span("sdg.build"):
+                    if config.slicing == "cs":
+                        sdg = CSExtendedSDG(program, analysis.call_graph,
+                                            analysis)
+                    else:
+                        sdg = NoHeapSDG(program, analysis.call_graph)
+                with tracer.span("sdg.direct_edges"):
+                    direct = DirectEdges(sdg, analysis)
+                with tracer.span("sdg.heap_graph"):
+                    heap_graph = HeapGraph(analysis)
+                obs.metrics.gauge("sdg.call_sites",
+                                  sum(len(sites) for sites
+                                      in sdg.call_sites.values()))
+            times.sdg = span.duration
+        except DeadlineExceeded as exc:
+            res.degrade("sdg", "deadline", "abort", str(exc))
+            return self._finalize(result, res, obs)
+        except Exception as exc:
+            if armed is None:
+                raise
+            res.fail("sdg", exc)
+            return self._finalize(result, res, obs)
         obs.sample_memory()
 
-        with tracer.span("phase.taint", strategy=config.slicing) as span:
-            engine = TaintEngine(sdg, direct, heap_graph, self.rules,
-                                 config.budget, strategy=config.slicing,
-                                 obs=obs)
-            taint = engine.run()
-            span.set(flows=len(taint.flows), failed=taint.failed)
+        try:
+            with tracer.span("phase.taint",
+                             strategy=config.slicing) as span:
+                engine = TaintEngine(sdg, direct, heap_graph, self.rules,
+                                     config.budget,
+                                     strategy=config.slicing, obs=obs,
+                                     resilience=armed)
+                taint = engine.run()
+                span.set(flows=len(taint.flows), failed=taint.failed)
+        except Exception as exc:
+            if armed is None:
+                raise
+            res.fail("taint", exc)
+            times.taint = span.duration
+            return self._finalize(result, res, obs)
         times.taint = span.duration
         obs.sample_memory()
 
@@ -146,20 +216,72 @@ class TAJ:
             result.stats[f"time_{phase}"] = seconds
         result.stats["suppressed_by_length"] = taint.suppressed_by_length
         result.stats["state_units"] = taint.state_units
+        result.stats["rules_completed"] = len(taint.completed_rules)
 
         # ---- reporting (§5) ---------------------------------------------------
-        with tracer.span("phase.reporting") as span:
-            result.report = build_report(taint.flows, self.rules, program,
-                                         obs=obs)
-            span.set(issues=result.report.count(),
-                     raw_flows=len(taint.flows))
-        times.reporting = span.duration
-        obs.finish()
-        result.metrics = obs.metrics.snapshot()
-        result.provenance = obs.audit.to_payload()
-        return result
+        try:
+            if armed is not None:
+                armed.check("reporting.build", phase="reporting")
+            with tracer.span("phase.reporting") as span:
+                result.report = build_report(taint.flows, self.rules,
+                                             program, obs=obs)
+                span.set(issues=result.report.count(),
+                         raw_flows=len(taint.flows))
+            times.reporting = span.duration
+        except DeadlineExceeded as exc:
+            res.degrade("reporting", "deadline", "skip-report", str(exc))
+        except Exception as exc:
+            if armed is None:
+                raise
+            # Reporting is non-essential — the raw flows survive; the
+            # report is just not grouped.
+            res.diagnostics.absorb("reporting", exc)
+            res.degrade("reporting", "fault", "skip-report", str(exc))
+        return self._finalize(result, res, obs)
 
     # -- internals ----------------------------------------------------------------
+
+    def _make_resilience(self) -> ResilienceContext:
+        config = self.config
+        deadline = None
+        if config.deadline_seconds is not None:
+            deadline = Deadline(config.deadline_seconds).start()
+        return ResilienceContext(deadline=deadline, faults=self.faults,
+                                 quarantine=config.resilient,
+                                 ladder=config.resilient)
+
+    def _finalize(self, result: TAJResult, res: ResilienceContext,
+                  obs: Observability) -> TAJResult:
+        """Fold the run's resilience record into the result and close
+        out the observability bundle (every exit path funnels here)."""
+        result.degradations = list(res.degradations)
+        result.diagnostics = list(res.diagnostics)
+        if res.failed_phase is not None:
+            result.failed = True
+            if result.failure is None:
+                last = result.diagnostics[-1]
+                result.failure = f"{res.failed_phase}: {last.message}"
+        completeness = res.completeness()
+        if result.failed and completeness == COMPLETE:
+            # A legacy budget failure with no resilience record (the
+            # paper's CS OOM, resilience off) is still not "complete".
+            completeness = FAILED
+        result.completeness = completeness
+        metrics = obs.metrics
+        if result.degradations:
+            metrics.inc("resilience.degradations",
+                        len(result.degradations))
+        if result.diagnostics:
+            metrics.inc("resilience.diagnostics",
+                        len(result.diagnostics))
+        remaining = res.deadline_remaining()
+        if remaining is not None:
+            metrics.gauge("resilience.deadline_remaining_seconds",
+                          round(remaining, 6))
+        obs.finish()
+        result.metrics = metrics.snapshot()
+        result.provenance = obs.audit.to_payload()
+        return result
 
     def _resolve_obs(self, obs: Optional[Observability]) -> Observability:
         """Explicit argument > bundle given at construction > a fresh
@@ -193,6 +315,8 @@ class TAJ:
 
 
 def analyze(sources: List[str], config: Optional[TAJConfig] = None,
-            rules: Optional[RuleSet] = None, **kwargs) -> TAJResult:
+            rules: Optional[RuleSet] = None,
+            faults: Optional[FaultPlan] = None, **kwargs) -> TAJResult:
     """One-shot convenience wrapper around :class:`TAJ`."""
-    return TAJ(config, rules).analyze_sources(sources, **kwargs)
+    return TAJ(config, rules, faults=faults).analyze_sources(sources,
+                                                             **kwargs)

@@ -11,7 +11,7 @@ exception-source model (paper §4.1.2).
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Set, Tuple
+from typing import Callable, Dict, List, Optional, Set, Tuple
 
 from ..ir import (ARRAY_CONTENTS, ArrayLoad, ArrayStore, Assign, BasicBlock,
                   BinOp, Call, Cast, ClassDecl, Const, EnterCatch, FieldDecl,
@@ -19,7 +19,7 @@ from ..ir import (ARRAY_CONTENTS, ArrayLoad, ArrayStore, Assign, BasicBlock,
                   Return, StaticLoad, StaticStore, Store, Throw, UnOp, Var,
                   parse_type)
 from . import ast
-from .errors import LowerError
+from .errors import LowerError, SourceError
 from .parser import parse
 
 # Sentinel constant marking the synthetic exception-dispatch branches
@@ -544,21 +544,42 @@ class Lowerer:
 
     # -- lowering ------------------------------------------------------------
 
-    def add_unit(self, unit: ast.CompilationUnit) -> None:
-        """Register a unit's classes for name resolution before lowering."""
+    def add_unit(self, unit: ast.CompilationUnit) -> List[str]:
+        """Register a unit's classes for name resolution before lowering.
+
+        Returns the class names registered, so callers that quarantine
+        broken units (``repro.resilience``) can map classes back to the
+        source unit they came from.
+        """
+        names: List[str] = []
         for cls in unit.classes:
             if cls.name in self._unit_classes or \
                     cls.name in self.program.classes:
                 raise LowerError(f"duplicate class {cls.name}", cls.line)
             self._unit_classes[cls.name] = cls
+            names.append(cls.name)
+        return names
 
-    def lower_all(self) -> Program:
-        """Lower every registered unit class into the program."""
+    def lower_all(self, on_error: Optional[Callable[
+            [str, SourceError], None]] = None) -> Program:
+        """Lower every registered unit class into the program.
+
+        With ``on_error``, a class whose body fails to lower is reported
+        as ``on_error(class_name, exc)`` instead of aborting the batch;
+        the caller is responsible for evicting the partially-lowered
+        class (and its unit) from the program.
+        """
         pending = list(self._unit_classes.values())
         for cls_node in pending:
             self.program.add_class(self._lower_class_shell(cls_node))
         for cls_node in pending:
-            self._lower_bodies(cls_node)
+            if on_error is None:
+                self._lower_bodies(cls_node)
+                continue
+            try:
+                self._lower_bodies(cls_node)
+            except SourceError as exc:
+                on_error(cls_node.name, exc)
         self._unit_classes.clear()
         return self.program
 

@@ -23,7 +23,9 @@ from typing import Dict, List, Optional, Set
 
 from ..ir import Program, validate_program
 from ..lang import Lowerer, parse
+from ..lang.errors import SourceError
 from ..obs import DISABLED, Observability
+from ..resilience import DeadlineExceeded
 from ..ssa import ConstantValues, SSAInfo, to_ssa
 from . import (collections_model, exceptions_model, reflection, strings,
                struts)
@@ -63,27 +65,86 @@ class PreparedProgram:
     stats: Dict[str, int] = field(default_factory=dict)
 
 
+def _lower_units(program: Program, app_sources: List[str],
+                 resilience, obs: Observability) -> int:
+    """Parse + lower the application units into ``program``.
+
+    With an active quarantining resilience context, a unit whose parse
+    or lowering fails is *skipped*: a structured diagnostic is recorded,
+    every class the unit contributed is evicted, and the remaining units
+    are still analyzed.  Returns the number of quarantined units.
+    """
+    quarantine = resilience is not None and resilience.active and \
+        resilience.quarantine
+    lowerer = Lowerer(program)
+    unit_of: Dict[str, int] = {}    # class name -> source-unit index
+    failed_units: set = set()
+    for index, source in enumerate(app_sources):
+        try:
+            if resilience is not None:
+                # Fault seam: may corrupt the source text, trip the
+                # deadline, or raise a scripted exception.
+                source = resilience.corrupt("frontend.source", source)
+            names = lowerer.add_unit(parse(source))
+        except DeadlineExceeded:
+            raise
+        except Exception as exc:
+            if not quarantine:
+                raise
+            resilience.quarantine_source(exc, index)
+            failed_units.add(index)
+            continue
+        for name in names:
+            unit_of[name] = index
+
+    def on_error(class_name: str, exc: SourceError) -> None:
+        index = unit_of.get(class_name)
+        resilience.quarantine_source(exc, index, class_name=class_name)
+        if index is not None:
+            failed_units.add(index)
+
+    lowerer.lower_all(on_error=on_error if quarantine else None)
+    # Evict every class contributed by a quarantined unit, including
+    # sibling classes whose own bodies lowered fine: the unit is the
+    # compilation boundary, so it is quarantined as a whole.
+    for name, index in unit_of.items():
+        if index in failed_units:
+            program.classes.pop(name, None)
+    if failed_units:
+        obs.metrics.inc("resilience.quarantined_sources",
+                        len(failed_units))
+    return len(failed_units)
+
+
 def prepare(app_sources: List[str],
             deployment_descriptor: Optional[Dict[str, str]] = None,
             options: Optional[ModelOptions] = None,
             extra_entrypoints: Optional[List[str]] = None,
-            obs: Optional[Observability] = None) -> PreparedProgram:
+            obs: Optional[Observability] = None,
+            resilience=None) -> PreparedProgram:
     """Build a :class:`PreparedProgram` from jlang application sources.
 
     Each model pass runs inside a ``modeling.*`` tracer span, and the
     pass counters are absorbed into the metrics registry (prefixed
-    ``modeling.``) in addition to the returned ``stats`` dict.
+    ``modeling.``) in addition to the returned ``stats`` dict.  An
+    optional :class:`~repro.resilience.ResilienceContext` arms the
+    ``frontend.source`` / ``modeling.pass`` fault seams, the cooperative
+    deadline, and per-source quarantine.
     """
     options = options or ModelOptions()
     obs = obs or DISABLED
     tracer = obs.tracer
+
+    def seam() -> None:
+        if resilience is not None:
+            resilience.check("modeling.pass", phase="modeling")
+
+    quarantined = 0
     with tracer.span("modeling.lower", sources=len(app_sources)):
         program = load_stdlib()
         if app_sources:
-            lowerer = Lowerer(program)
-            for source in app_sources:
-                lowerer.add_unit(parse(source))
-            lowerer.lower_all()
+            quarantined = _lower_units(program, app_sources, resilience,
+                                       obs)
     if deployment_descriptor:
         program.deployment_descriptor.update(deployment_descriptor)
     for entry in extra_entrypoints or []:
@@ -91,20 +152,26 @@ def prepare(app_sources: List[str],
             program.entrypoints.append(entry)
 
     stats: Dict[str, int] = {}
+    if quarantined:
+        stats["quarantined_sources"] = quarantined
     if options.frameworks:
+        seam()
         with tracer.span("modeling.frameworks"):
             roots = struts.synthesize_entrypoints(program)
         stats["entrypoint_roots"] = len(roots)
     if options.exceptions:
+        seam()
         with tracer.span("modeling.exceptions"):
             stats["exception_sources"] = \
                 exceptions_model.rewrite_program(program)
     if options.strings:
+        seam()
         with tracer.span("modeling.strings"):
             stats["string_ops"] = strings.rewrite_program(program)
 
     ssa_by: Dict[str, SSAInfo] = {}
     constants: Dict[str, ConstantValues] = {}
+    seam()
     with tracer.span("modeling.ssa") as span:
         for method in program.methods():
             info = to_ssa(method)
@@ -114,14 +181,17 @@ def prepare(app_sources: List[str],
         span.set(methods=len(ssa_by))
 
     if options.reflection:
+        seam()
         with tracer.span("modeling.reflection"):
             stats["reflective_calls_resolved"] = \
                 reflection.rewrite_program(program, ssa_by, constants)
     if options.collections:
+        seam()
         with tracer.span("modeling.collections"):
             stats["dictionary_accesses"] = \
                 collections_model.rewrite_program(program, constants)
     if options.ejb and program.deployment_descriptor:
+        seam()
         with tracer.span("modeling.ejb"):
             model = EJBModel(program)
             stats["ejb_calls_resolved"] = model.rewrite_program(constants)
@@ -136,6 +206,7 @@ def prepare(app_sources: List[str],
                         constants[method.qname] = ConstantValues(method,
                                                                  info)
 
+    seam()
     with tracer.span("modeling.validate"):
         validate_program(program)
         whitelist = (validate_whitelist(program, default_whitelist())

@@ -45,6 +45,7 @@ from typing import Deque, Dict, FrozenSet, Iterable, Iterator, List, \
 from ..bounds import Budget, UNBOUNDED
 from ..callgraph.graph import CallGraph, CGNode
 from ..obs import DISABLED
+from ..resilience import DeadlineExceeded
 from ..ir import (ARRAY_CONTENTS, ArrayLoad, ArrayStore, Assign, Call, Cast,
                   ClassHierarchy, EnterCatch, Load, Method, New, NewArray,
                   Phi, Program, Return, Select, StaticLoad, StaticStore,
@@ -73,7 +74,8 @@ class PointerAnalysis:
                  order: Optional[OrderingPolicy] = None,
                  budget: Budget = UNBOUNDED,
                  excluded_classes: Optional[Set[str]] = None,
-                 obs: Optional[object] = None) -> None:
+                 obs: Optional[object] = None,
+                 resilience: Optional[object] = None) -> None:
         self.program = program
         self.hierarchy = ClassHierarchy(program)
         self.policy = policy or ContextPolicy()
@@ -88,6 +90,12 @@ class PointerAnalysis:
         self.excluded_classes = excluded_classes or set()
         self.call_graph = CallGraph()
         self.truncated = False          # budget cut the analysis short
+        # Resilience (repro.resilience): the solver checks the
+        # ``pointer.solve`` seam once per node; a tripped deadline
+        # truncates the solve (partial call graph, like the node
+        # budget) instead of killing the run.
+        self.resilience = resilience
+        self.deadline_exceeded = False
 
         # All of the following are keyed by cycle representatives.
         self.pts: Dict[PointerKey, Set[InstanceKey]] = {}
@@ -137,10 +145,23 @@ class PointerAnalysis:
                 self.call_graph.entrypoints.append(node)
         clock = time.perf_counter
         self._solve_started = clock()
+        resilience = self.resilience
         while True:
             if self._budget_met():
                 self.truncated = True
                 break
+            if resilience is not None:
+                try:
+                    resilience.check("pointer.solve",
+                                     phase="pointer_analysis")
+                except DeadlineExceeded:
+                    # Wall-clock budget spent: stop here, keep the
+                    # partial call graph (same contract as the node
+                    # budget).  Injected non-deadline faults propagate
+                    # to the facade's phase guard.
+                    self.truncated = True
+                    self.deadline_exceeded = True
+                    break
             node = self.order.pop()
             if node is None:
                 break

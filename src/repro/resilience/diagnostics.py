@@ -1,0 +1,97 @@
+"""Structured diagnostics: every failure the pipeline absorbs leaves one.
+
+A :class:`Diagnostic` is the machine-readable record of a fault the
+pipeline survived — a quarantined source unit, an injected fault, a
+phase that had to be abandoned.  The contract enforced by the
+fault-injection harness (``benchmarks/fault_injection.py``) is that no
+absorbed failure is silent: a run that degraded carries at least one
+diagnostic or degradation explaining why.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional
+
+
+@dataclass
+class Diagnostic:
+    """One absorbed failure.
+
+    ``phase`` uses the pipeline phase names (``frontend``, ``modeling``,
+    ``pointer_analysis``, ``sdg``, ``taint``, ``reporting``); ``kind``
+    is a stable machine key (``source-error``, ``injected-fault``,
+    ``budget``, ``deadline``, ``internal-error``).
+    """
+
+    phase: str
+    kind: str
+    message: str
+    source_index: Optional[int] = None
+    detail: Dict[str, object] = field(default_factory=dict)
+
+    def to_dict(self) -> Dict[str, object]:
+        out: Dict[str, object] = {"phase": self.phase, "kind": self.kind,
+                                  "message": self.message}
+        if self.source_index is not None:
+            out["source_index"] = self.source_index
+        if self.detail:
+            out["detail"] = dict(self.detail)
+        return out
+
+    def render(self) -> str:
+        where = f" (source #{self.source_index})" \
+            if self.source_index is not None else ""
+        return f"[{self.phase}] {self.kind}{where}: {self.message}"
+
+
+def classify_exception(exc: BaseException) -> str:
+    """Map an exception to a diagnostic ``kind`` without importing the
+    whole pipeline (matched by class name so this module stays leaf)."""
+    for klass in type(exc).__mro__:
+        name = klass.__name__
+        if name == "SourceError":
+            return "source-error"
+        if name == "BudgetExhausted":
+            return "budget"
+        if name == "DeadlineExceeded":
+            return "deadline"
+        if name == "InjectedFault":
+            return "injected-fault"
+    return "internal-error"
+
+
+class DiagnosticsCollector:
+    """Accumulates :class:`Diagnostic` records for one analysis run."""
+
+    def __init__(self) -> None:
+        self.diagnostics: List[Diagnostic] = []
+
+    def record(self, phase: str, kind: str, message: str,
+               source_index: Optional[int] = None,
+               **detail: object) -> Diagnostic:
+        diag = Diagnostic(phase=phase, kind=kind, message=message,
+                          source_index=source_index,
+                          detail=dict(detail) if detail else {})
+        self.diagnostics.append(diag)
+        return diag
+
+    def absorb(self, phase: str, exc: BaseException,
+               source_index: Optional[int] = None,
+               **detail: object) -> Diagnostic:
+        """Record an exception as a diagnostic, classifying its kind."""
+        return self.record(phase, classify_exception(exc), str(exc),
+                           source_index=source_index,
+                           exception=type(exc).__name__, **detail)
+
+    def to_dicts(self) -> List[Dict[str, object]]:
+        return [d.to_dict() for d in self.diagnostics]
+
+    def __len__(self) -> int:
+        return len(self.diagnostics)
+
+    def __iter__(self) -> Iterator[Diagnostic]:
+        return iter(self.diagnostics)
+
+    def __bool__(self) -> bool:
+        return bool(self.diagnostics)

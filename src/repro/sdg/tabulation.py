@@ -163,12 +163,17 @@ class Tabulator:
     def __init__(self, sdg: NoHeapSDG, adapter: RuleAdapter,
                  origin_handler: Callable[[str, Hit], None],
                  meter: Optional[StateMeter] = None,
-                 skip_thread_edges: bool = False) -> None:
+                 skip_thread_edges: bool = False,
+                 resilience: Optional[object] = None) -> None:
         self.sdg = sdg
         self.adapter = adapter
         self.origin_handler = origin_handler
         self.meter = meter
         self.skip_thread_edges = skip_thread_edges
+        # Cooperative deadline / fault seam (repro.resilience), checked
+        # once per worklist pop; DeadlineExceeded raised here unwinds to
+        # the taint engine's per-rule ladder.
+        self.resilience = resilience
         # region -> fact var -> Meta (first wins)
         self.facts: Dict[RegionKey, Dict[str, Meta]] = {}
         # region -> recorded hits
@@ -188,7 +193,10 @@ class Tabulator:
         self._add_fact(region, var, meta or Meta())
 
     def run(self) -> None:
+        resilience = self.resilience
         while self._worklist:
+            if resilience is not None:
+                resilience.check("tabulation.step", phase="taint")
             region, var, meta = self._worklist.popleft()
             self._process(region, var, meta)
 

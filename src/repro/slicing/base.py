@@ -94,11 +94,16 @@ class Slicer:
     name = "abstract"
 
     def __init__(self, sdg: NoHeapSDG, direct: DirectEdges,
-                 heap_graph: HeapGraph, budget: Budget) -> None:
+                 heap_graph: HeapGraph, budget: Budget,
+                 resilience: Optional[object] = None) -> None:
         self.sdg = sdg
         self.direct = direct
         self.heap_graph = heap_graph
         self.budget = budget
+        # Cooperative deadline / fault-injection context
+        # (repro.resilience); strategies hand it to their traversal
+        # loops so a wall-clock deadline can cut a slice short.
+        self.resilience = resilience
         self.truncated = False
         # Flows dropped by the §6.2.2 flow-length bound, summed over
         # every rule sliced (fed by _collect via each strategy).

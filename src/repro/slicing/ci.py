@@ -61,7 +61,12 @@ class CISlicer(Slicer):
                                                              arg):
                 push(Fact(load.stmt.ref.method, load.lhs), Meta(1))
 
+        resilience = self.resilience
         while work:
+            if resilience is not None:
+                # Cooperative deadline / fault seam, one per BFS pop
+                # (the CI analogue of the tabulation.step seam).
+                resilience.check("ci.step", phase="taint")
             fact, meta = work.popleft()
             method, var = fact.method, fact.var
             for edge in self.sdg.succs_of(fact):

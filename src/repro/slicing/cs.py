@@ -57,8 +57,15 @@ class CSExtendedSDG(NoHeapSDG):
         self._extra_succs: Dict[Fact, List[LocalEdge]] = {}
         self.modref: Dict[str, Set[str]] = {}
         self._pts_cache: Dict[Tuple[str, str], frozenset] = {}
+        # The degradation ladder (repro.resilience) disables the heap
+        # channels when falling back from CS to hybrid/CI, turning this
+        # graph back into a plain no-heap SDG for the fallback slicer.
+        self.channels_enabled = True
         self._build_channels()
         self._build_modref()
+
+    def disable_channels(self) -> None:
+        self.channels_enabled = False
 
     def _pts(self, method: str, var: str) -> frozenset:
         key = (method, var)
@@ -130,12 +137,14 @@ class CSExtendedSDG(NoHeapSDG):
 
     def succs_of(self, fact: Fact) -> List[LocalEdge]:
         base = super().succs_of(fact)
+        if not self.channels_enabled:
+            return base
         extra = self._extra_succs.get(fact)
         return base + extra if extra else base
 
     def calls_using(self, method: str,
                     var: str) -> List[Tuple[CallSite, List[int]]]:
-        if not var.startswith("@"):
+        if not var.startswith("@") or not self.channels_enabled:
             return super().calls_using(method, var)
         out: List[Tuple[CallSite, List[int]]] = []
         for site in self.call_sites.get(method, []):
@@ -147,7 +156,7 @@ class CSExtendedSDG(NoHeapSDG):
     def bindings(self, site: CallSite,
                  target: str) -> List[Tuple[str, str]]:
         pairs = super().bindings(site, target)
-        if self._is_thread_edge(site, target):
+        if not self.channels_enabled or self._is_thread_edge(site, target):
             return pairs
         for ch in sorted(self.modref.get(target, ())):
             pairs.append((ch, ch))
@@ -184,7 +193,8 @@ class CSSlicer(Slicer):
                                   True)
 
         tab = Tabulator(self.sdg, adapter, on_hit, meter=self.meter,
-                        skip_thread_edges=True)
+                        skip_thread_edges=True,
+                        resilience=self.resilience)
         for seed in enumerate_sources(self.sdg, rule):
             sources[seed.origin_id] = seed.stmt.ref
             if seed.call_lhs:

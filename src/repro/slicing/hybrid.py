@@ -60,7 +60,8 @@ class HybridSlicer(Slicer):
                                    collector, sources, seeded_loads)
 
         tab = Tabulator(self.sdg, adapter, on_hit, meter=self.meter,
-                        skip_thread_edges=self.skip_thread_edges)
+                        skip_thread_edges=self.skip_thread_edges,
+                        resilience=self.resilience)
         for seed in enumerate_sources(self.sdg, rule):
             sources[seed.origin_id] = seed.stmt.ref
             if seed.call_lhs:

@@ -1,14 +1,29 @@
-"""The taint engine: runs every security rule through a slicing strategy."""
+"""The taint engine: runs every security rule through a slicing strategy.
+
+Resilience (``repro.resilience``): when the engine is given a
+:class:`~repro.resilience.ResilienceContext`, each rule is sliced behind
+a cooperative seam check (``slicing.<strategy>``), and a
+:class:`~repro.bounds.BudgetExhausted` or
+:class:`~repro.resilience.DeadlineExceeded` raised mid-sweep walks the
+degradation ladder (cs → hybrid → ci) instead of discarding the run:
+flows from completed rules are kept, the tripped rule is re-sliced with
+the cheaper strategy, and each step is recorded as a
+:class:`~repro.resilience.Degradation`.  Without a context (or with the
+ladder disabled) a budget trip is the paper's CS out-of-memory failure:
+the run is marked failed — but flows from rules that completed are still
+reported, never wiped.
+"""
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
 from ..bounds import Budget, BudgetExhausted, StateMeter
 from ..obs import DISABLED
 from ..pointer.heapgraph import HeapGraph
+from ..resilience import (Degradation, DeadlineExceeded, next_strategy,
+                          trigger_of)
 from ..sdg.hsdg import DirectEdges
 from ..sdg.noheap import NoHeapSDG
 from ..slicing import CISlicer, CSSlicer, HybridSlicer, Slicer
@@ -19,7 +34,12 @@ from .rules import RuleSet
 
 @dataclass
 class TaintResult:
-    """Flows found by one engine run (all rules)."""
+    """Flows found by one engine run (all rules).
+
+    Timing note: the engine keeps no clock of its own — the taint
+    phase's duration is the ``phase.taint`` tracer span (surfaced as
+    ``TAJResult.times.taint``), the single timing source.
+    """
 
     flows: List[TaintFlow] = field(default_factory=list)
     failed: bool = False              # hard budget failure (CS "OOM")
@@ -27,7 +47,14 @@ class TaintResult:
     truncated: bool = False           # a soft bound trimmed the slice
     suppressed_by_length: int = 0
     state_units: int = 0              # abstract memory consumed (CS)
-    seconds: float = 0.0
+    # Degradation-ladder steps taken during the sweep (also recorded on
+    # the ResilienceContext, and from there on TAJResult).
+    degradations: List[Degradation] = field(default_factory=list)
+    # Rules whose slice ran to completion (under whichever strategy was
+    # current at the time); rules missing from this list were cut short.
+    completed_rules: List[str] = field(default_factory=list)
+    # Strategy in effect when the sweep ended (after any fallbacks).
+    final_strategy: Optional[str] = None
 
     def by_rule(self) -> Dict[str, List[TaintFlow]]:
         out: Dict[str, List[TaintFlow]] = {}
@@ -38,13 +65,17 @@ class TaintResult:
 
 def make_slicer(strategy: str, sdg: NoHeapSDG, direct: DirectEdges,
                 heap_graph: HeapGraph, budget: Budget,
-                meter: Optional[StateMeter] = None) -> Slicer:
+                meter: Optional[StateMeter] = None,
+                resilience: Optional[object] = None) -> Slicer:
     if strategy == "hybrid":
-        return HybridSlicer(sdg, direct, heap_graph, budget, meter=meter)
+        return HybridSlicer(sdg, direct, heap_graph, budget, meter=meter,
+                            resilience=resilience)
     if strategy == "cs":
-        return CSSlicer(sdg, direct, heap_graph, budget, meter=meter)
+        return CSSlicer(sdg, direct, heap_graph, budget, meter=meter,
+                        resilience=resilience)
     if strategy == "ci":
-        return CISlicer(sdg, direct, heap_graph, budget)
+        return CISlicer(sdg, direct, heap_graph, budget,
+                        resilience=resilience)
     raise ValueError(f"unknown slicing strategy {strategy!r}")
 
 
@@ -53,8 +84,8 @@ class TaintEngine:
 
     def __init__(self, sdg: NoHeapSDG, direct: DirectEdges,
                  heap_graph: HeapGraph, rules: RuleSet, budget: Budget,
-                 strategy: str = "hybrid", obs: Optional[object] = None
-                 ) -> None:
+                 strategy: str = "hybrid", obs: Optional[object] = None,
+                 resilience: Optional[object] = None) -> None:
         self.sdg = sdg
         self.direct = direct
         self.heap_graph = heap_graph
@@ -62,50 +93,118 @@ class TaintEngine:
         self.budget = budget
         self.strategy = strategy
         self.obs = DISABLED if obs is None else obs
+        self.resilience = resilience
+
+    # -- strategy construction -----------------------------------------------
+
+    def _make(self, strategy: str,
+              meter: Optional[StateMeter]) -> Slicer:
+        slicer = make_slicer(strategy, self.sdg, self.direct,
+                             self.heap_graph, self.budget, meter,
+                             resilience=self.resilience)
+        modref = getattr(self.sdg, "modref", None)
+        if strategy == "cs" and meter is not None and modref is not None:
+            # CS thin slicing threads heap dependencies as additional
+            # method parameters; each synthetic parameter costs state
+            # up front — the paper's scalability bottleneck.
+            meter.charge(sum(len(v) for v in modref.values()))
+        return slicer
+
+    def _recover(self, result: TaintResult, strategy: str,
+                 exc: Exception) -> Tuple[str, Optional[Slicer]]:
+        """One step of the degradation ladder, or abort the sweep.
+
+        Returns ``(strategy, slicer)``; a ``None`` slicer means the
+        sweep stops (flows collected so far are kept either way).
+        """
+        res = self.resilience
+        fallback = None
+        if res is not None and res.ladder:
+            fallback = next_strategy(strategy)
+        trigger = trigger_of(exc)
+        if fallback is None:
+            if res is not None and res.active:
+                result.degradations.append(
+                    res.degrade("taint", trigger, "abort", str(exc)))
+            if not isinstance(exc, DeadlineExceeded):
+                # The paper's CS OOM: a budget trip with no rung left.
+                # A deadline abort is a *partial* result, not a failure.
+                result.failed = True
+                result.failure = str(exc)
+            return strategy, None
+        result.degradations.append(
+            res.degrade("taint", trigger, fallback, str(exc)))
+        if strategy == "cs" and hasattr(self.sdg, "disable_channels"):
+            # Fallback slicers see a plain no-heap SDG: heap channels
+            # (and their per-call threading) are a CS-only construct.
+            self.sdg.disable_channels()
+        # Fresh slicer, no meter: the fallback must not inherit the
+        # exhausted state budget or it would trip again instantly.
+        return fallback, self._make(fallback, None)
+
+    # -- the sweep -----------------------------------------------------------
 
     def run(self) -> TaintResult:
-        started = time.perf_counter()
         obs = self.obs
         tracer = obs.tracer
         audit = obs.audit
+        res = self.resilience
         result = TaintResult()
+        strategy = self.strategy
         meter = StateMeter(self.budget.max_state_units)
-        slicer = make_slicer(self.strategy, self.sdg, self.direct,
-                             self.heap_graph, self.budget, meter)
         try:
-            modref = getattr(self.sdg, "modref", None)
-            if self.strategy == "cs" and modref is not None:
-                # CS thin slicing threads heap dependencies as additional
-                # method parameters; each synthetic parameter costs state
-                # up front — the paper's scalability bottleneck.
-                meter.charge(sum(len(v) for v in modref.values()))
-            for rule in self.rules:
-                with tracer.span("taint.rule", rule=rule.name) as span:
+            slicer: Optional[Slicer] = self._make(strategy, meter)
+        except (BudgetExhausted, DeadlineExceeded) as exc:
+            # CS's upfront channel charge can exhaust the budget before
+            # the first rule runs.
+            strategy, slicer = self._recover(result, strategy, exc)
+        rules = list(self.rules)
+        index = 0
+        while slicer is not None and index < len(rules):
+            rule = rules[index]
+            try:
+                if res is not None:
+                    res.check(f"slicing.{strategy}", phase="taint")
+                with tracer.span("taint.rule", rule=rule.name,
+                                 strategy=strategy) as span:
                     flows = slicer.slice_rule(rule)
                     span.set(flows=len(flows))
-                if audit.enabled:
-                    # The witness chain starts at the rule's enumerated
-                    # source seeds; each surviving flow records what was
-                    # consulted on its way into the report.
-                    seeds = len(enumerate_sources(self.sdg, rule))
-                    audit.record_rule(rule, seeds, len(flows))
-                    for flow in flows:
-                        audit.record_flow(flow, rule, seeds)
-                result.flows.extend(flows)
-        except BudgetExhausted as exc:
-            result.failed = True
-            result.failure = str(exc)
-            result.flows = []
+            except (BudgetExhausted, DeadlineExceeded) as exc:
+                result.truncated = result.truncated or slicer.truncated
+                result.suppressed_by_length += slicer.suppressed_by_length
+                strategy, slicer = self._recover(result, strategy, exc)
+                continue  # retry the same rule on the fallback rung
+            except Exception as exc:
+                if res is None or not res.active:
+                    raise
+                # Quarantine the rule: record a diagnostic, keep going.
+                res.diagnostics.absorb("taint", exc, rule=rule.name)
+                index += 1
+                continue
+            if audit.enabled:
+                # The witness chain starts at the rule's enumerated
+                # source seeds; each surviving flow records what was
+                # consulted on its way into the report.
+                seeds = len(enumerate_sources(self.sdg, rule))
+                audit.record_rule(rule, seeds, len(flows))
+                for flow in flows:
+                    audit.record_flow(flow, rule, seeds)
+            result.flows.extend(flows)
+            result.completed_rules.append(rule.name)
+            index += 1
+        if slicer is not None:
+            result.truncated = result.truncated or slicer.truncated
+            result.suppressed_by_length += slicer.suppressed_by_length
         result.state_units = meter.used
-        result.truncated = slicer.truncated
-        result.suppressed_by_length = slicer.suppressed_by_length
-        result.seconds = time.perf_counter() - started
+        result.final_strategy = strategy
         metrics = obs.metrics
-        metrics.inc("taint.rules_consulted", len(self.rules))
+        metrics.inc("taint.rules_consulted", len(rules))
         metrics.inc("taint.flows", len(result.flows))
         metrics.inc("taint.suppressed_by_length",
                     result.suppressed_by_length)
         metrics.gauge("taint.state_units", result.state_units)
+        if result.degradations:
+            metrics.inc("taint.degradations", len(result.degradations))
         if result.failed:
             metrics.inc("taint.budget_failures")
         return result

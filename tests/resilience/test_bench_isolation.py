@@ -1,0 +1,47 @@
+"""Harness isolation: one broken app cannot take down the sweep."""
+
+import pytest
+
+from repro.bench import generate_suite, run_suite
+from repro.bench.generator import AppSpec, GeneratedApp, PlantedFlow
+from repro.core import TAJConfig
+
+
+def broken_app(name="Broken"):
+    planted = [PlantedFlow(kind="tp", rule="XSS",
+                           sink_method="Broken.sink", app=name)]
+    return GeneratedApp(spec=AppSpec(name=name),
+                        sources=["class Broken { not jlang @@"],
+                        planted=planted,
+                        deployment_descriptor={})
+
+
+@pytest.fixture(scope="module")
+def mixed_results():
+    apps = generate_suite(["I"])
+    apps["Broken"] = broken_app()
+    configs = [TAJConfig.hybrid_optimized(), TAJConfig.ci()]
+    return run_suite(apps, configs=configs)
+
+
+def test_broken_app_yields_failure_records(mixed_results):
+    for config in ("hybrid-optimized", "ci"):
+        rec = mixed_results.cell("Broken", config)
+        assert rec is not None, "the row exists despite the crash"
+        assert rec.failed and rec.completeness == "failed"
+        assert rec.error and "LexError" in rec.error
+        assert rec.score.fn == 1, "planted flows count as missed"
+
+
+def test_other_apps_still_scored(mixed_results):
+    rec = mixed_results.cell("I", "hybrid-optimized")
+    assert rec is not None and not rec.failed
+    assert rec.completeness == "complete"
+    assert rec.degradations == []
+    assert rec.error is None
+
+
+def test_isolation_can_be_disabled_for_debugging():
+    apps = {"Broken": broken_app()}
+    with pytest.raises(Exception):
+        run_suite(apps, configs=[TAJConfig.ci()], isolate=False)

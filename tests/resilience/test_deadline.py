@@ -1,0 +1,57 @@
+"""Deadline unit tests (injectable clock makes expiry deterministic)."""
+
+import pytest
+
+from repro.resilience import Deadline, DeadlineExceeded
+
+
+class FakeClock:
+    def __init__(self) -> None:
+        self.now = 100.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+def test_deadline_arms_on_first_use():
+    clock = FakeClock()
+    deadline = Deadline(5.0, clock=clock)
+    clock.advance(1000.0)         # time passes before anyone consumes it
+    assert deadline.remaining() == 5.0, "clock starts on first use"
+    clock.advance(2.0)
+    assert deadline.remaining() == pytest.approx(3.0)
+    assert not deadline.expired()
+
+
+def test_deadline_expires_and_raises():
+    clock = FakeClock()
+    deadline = Deadline(5.0, clock=clock).start()
+    deadline.check("pointer_analysis")        # within budget: no raise
+    clock.advance(5.5)
+    assert deadline.expired()
+    assert deadline.remaining() == 0.0
+    with pytest.raises(DeadlineExceeded) as info:
+        deadline.check("pointer_analysis")
+    assert info.value.phase == "pointer_analysis"
+    assert info.value.limit_seconds == 5.0
+    assert info.value.elapsed_seconds == pytest.approx(5.5)
+
+
+def test_trip_forces_expiry_without_time_passing():
+    clock = FakeClock()
+    deadline = Deadline(100.0, clock=clock).start()
+    deadline.trip()
+    assert deadline.expired()
+    assert deadline.remaining() == 0.0
+    with pytest.raises(DeadlineExceeded):
+        deadline.check("taint")
+
+
+def test_remaining_never_negative():
+    clock = FakeClock()
+    deadline = Deadline(1.0, clock=clock).start()
+    clock.advance(50.0)
+    assert deadline.remaining() == 0.0
