@@ -35,13 +35,19 @@ if str(REPO_ROOT / "src") not in sys.path:  # script mode
 from repro.bench.micro import MICRO_CASES, MOTIVATING, cyclic_stress
 from repro.bench.securibench import CASES
 from repro.bench.harness import write_bench_json
+from repro.bounds import Budget
 from repro.modeling import default_natives, prepare
 from repro.obs import Observability
 from repro.pointer import (ChaoticOrder, ContextPolicy, PointerAnalysis,
                            SeedPointerAnalysis)
+from repro.pointer.heapgraph import HeapGraph
+from repro.sdg.hsdg import DirectEdges
+from repro.sdg.noheap import NoHeapSDG
+from repro.taint import TaintEngine, default_rules
 
 REPEATS = 5
 TARGET_REDUCTION = 25.0         # acceptance bar, percent
+PARALLEL_JOBS = 4               # fan-out measured for the taint sweep
 
 
 def suite_sources(quick: bool = False) -> Dict[str, List[List[str]]]:
@@ -143,12 +149,61 @@ def bench_suite(programs: List[List[str]],
     return metrics
 
 
+def bench_parallel_taint(repeats: int = 3,
+                         jobs: int = PARALLEL_JOBS) -> Dict[str, object]:
+    """Serial vs parallel per-rule taint sweep over securibench.
+
+    One pointer solve and one SDG are shared; only the engine sweep is
+    timed (best of ``repeats``).  The flows must come back identical —
+    that contract, not the wall clock, is the parallel sweep's headline
+    guarantee: on a single-core host ``jobs=N`` pays fork overhead and
+    the artifact records that honestly.
+    """
+    sources = [src for cat in CASES.values() for src, _ in cat.values()]
+    prepared = prepare(sources)
+    analysis, _ = run_solver(PointerAnalysis, prepared, repeats=1)
+    sdg = NoHeapSDG(prepared.program, analysis.call_graph)
+    direct = DirectEdges(sdg, analysis)
+    heap = HeapGraph(analysis)
+
+    def sweep(n: int):
+        best, result = None, None
+        for _ in range(repeats):
+            engine = TaintEngine(sdg, direct, heap, default_rules(),
+                                 Budget(), jobs=n)
+            t0 = time.perf_counter()
+            result = engine.run()
+            t = time.perf_counter() - t0
+            best = t if best is None else min(best, t)
+        return result, best
+
+    serial, serial_t = sweep(1)
+    parallel, parallel_t = sweep(jobs)
+    identical = [f.sort_key() for f in serial.flows] == \
+        [f.sort_key() for f in parallel.flows]
+    if not identical:
+        raise AssertionError(
+            "parallel sweep diverged from the serial reference")
+    return {
+        "programs": len(sources),
+        "rules": len(list(default_rules())),
+        "flows": len(serial.flows),
+        "jobs": jobs,
+        "jobs1_wall_s": round(serial_t, 4),
+        f"jobs{jobs}_wall_s": round(parallel_t, 4),
+        "speedup": round(serial_t / parallel_t, 2),
+        "reports_identical": identical,
+    }
+
+
 def run_bench(quick: bool = False,
               repeats: int = REPEATS) -> Dict[str, Dict]:
     payload: Dict[str, Dict] = {"suites": {}}
     for name, programs in suite_sources(quick).items():
         payload["suites"][name] = bench_suite(programs, repeats)
         payload["suites"][name]["programs"] = len(programs)
+    payload["parallel_taint"] = bench_parallel_taint(
+        repeats=1 if quick else 3)
     payload["meta"] = {
         "quick": quick,
         "repeats": repeats,
@@ -170,6 +225,15 @@ def format_summary(payload: Dict) -> str:
             f"{m['seed']['propagations']:>12}"
             f"{m['optimized']['propagations']:>11}"
             f"{m['optimized']['keys_merged']:>8}")
+    par = payload.get("parallel_taint")
+    if par:
+        jobs_wall = par["jobs%d_wall_s" % par["jobs"]]
+        lines.append(
+            f"\nparallel taint sweep (securibench, {par['rules']} rules, "
+            f"{par['flows']} flows): jobs=1 {par['jobs1_wall_s']:.3f}s, "
+            f"jobs={par['jobs']} {jobs_wall:.3f}s "
+            f"(speedup {par['speedup']:.2f}x, reports identical: "
+            f"{par['reports_identical']})")
     return "\n".join(lines)
 
 

@@ -1,0 +1,98 @@
+"""Parallel-determinism smoke: ``--jobs N`` must not change a report.
+
+Runs the real CLI (in-process) over the securibench corpus twice — once
+serial, once with ``--jobs 4`` — in every output format, and fails
+unless the outputs are byte-identical:
+
+* text report — compared verbatim (it carries no timing);
+* JSON report — compared after dropping the one volatile field
+  (``"seconds"``, the wall-clock total);
+* exit codes — must match.
+
+This is the determinism half of the parallel sweep's contract
+(``docs/performance.md``); the throughput half lives in
+``bench_solver.py``.  Exit 0 on identical outputs, 1 on any divergence.
+
+    PYTHONPATH=src python benchmarks/parallel_smoke.py [--jobs N]
+"""
+
+from __future__ import annotations
+
+import argparse
+import contextlib
+import io
+import json
+import sys
+import tempfile
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+if str(REPO_ROOT / "src") not in sys.path:  # script mode
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.bench.securibench import CASES
+from repro.cli import main as cli_main
+
+
+def run_cli(argv):
+    out = io.StringIO()
+    with contextlib.redirect_stdout(out), \
+            contextlib.redirect_stderr(io.StringIO()):
+        code = cli_main(argv)
+    return code, out.getvalue()
+
+
+def normalize_json(text: str) -> str:
+    payload = json.loads(text)
+    payload.pop("seconds", None)
+    return json.dumps(payload, indent=2, sort_keys=True)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Assert --jobs N and serial CLI reports are "
+                    "byte-identical over securibench.")
+    parser.add_argument("--jobs", type=int, default=4,
+                        help="parallel fan-out to compare against "
+                             "serial (default 4)")
+    args = parser.parse_args(argv)
+
+    sources = [src for cat in CASES.values() for src, _ in cat.values()]
+    with tempfile.TemporaryDirectory() as tmp:
+        corpus = Path(tmp) / "securibench.jlang"
+        corpus.write_text("\n".join(sources), encoding="utf-8")
+        base = ["--rules", "extended", str(corpus)]
+
+        failures = []
+        code1, text1 = run_cli(base)
+        codeN, textN = run_cli(["--jobs", str(args.jobs)] + base)
+        if code1 != codeN:
+            failures.append(f"exit codes differ: {code1} vs {codeN}")
+        if text1 != textN:
+            failures.append("text reports differ")
+
+        jcode1, json1 = run_cli(["--json"] + base)
+        jcodeN, jsonN = run_cli(["--json", "--jobs", str(args.jobs)]
+                                + base)
+        if jcode1 != jcodeN:
+            failures.append(f"json exit codes differ: {jcode1} vs "
+                            f"{jcodeN}")
+        if normalize_json(json1) != normalize_json(jsonN):
+            failures.append("json reports differ (seconds excluded)")
+
+    issues = json.loads(json1).get("issues", [])
+    if not issues:
+        failures.append("smoke corpus produced no issues — the "
+                        "comparison is vacuous")
+    if failures:
+        for failure in failures:
+            print(f"FAIL: {failure}")
+        return 1
+    print(f"OK: serial and --jobs {args.jobs} reports byte-identical "
+          f"over securibench ({len(sources)} servlets, "
+          f"{len(issues)} issues)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

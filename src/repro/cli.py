@@ -94,6 +94,10 @@ def build_parser() -> argparse.ArgumentParser:
                              "that fail to compile and walk the "
                              "degradation ladder on budget/deadline "
                              "trips instead of aborting")
+    parser.add_argument("--jobs", type=int, default=1, metavar="N",
+                        help="worker processes for the per-rule taint "
+                             "sweep (default 1 = serial; reports are "
+                             "identical for every value)")
     return parser
 
 
@@ -160,6 +164,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.deadline is not None or args.keep_going:
         config = config.with_resilience(deadline_seconds=args.deadline,
                                         resilient=args.keep_going)
+    if args.jobs != 1:
+        config = config.with_jobs(args.jobs)
     rules = extended_rules() if args.rules == "extended" \
         else default_rules()
 

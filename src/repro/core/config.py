@@ -65,6 +65,11 @@ class TAJConfig:
     # Off by default so the paper's CS out-of-memory reproduction (and
     # the strict-frontend contract) are preserved.
     resilient: bool = False
+    # Worker processes for the per-rule taint sweep (``--jobs``).  1 is
+    # the serial reference path; N > 1 fans the sweep over forked
+    # workers sharing the read-only SDG.  Reports are byte-identical
+    # for every value (docs/performance.md).
+    jobs: int = 1
 
     def with_budget(self, **kwargs) -> "TAJConfig":
         budget = self.budget.copy()
@@ -78,6 +83,11 @@ class TAJConfig:
         optionally, a wall-clock deadline)."""
         return replace(self, deadline_seconds=deadline_seconds,
                        resilient=resilient)
+
+    def with_jobs(self, jobs: int) -> "TAJConfig":
+        """This configuration with the taint sweep fanned over ``jobs``
+        worker processes (1 = serial)."""
+        return replace(self, jobs=max(1, jobs))
 
     # -- the five Table 1 presets ------------------------------------------
 

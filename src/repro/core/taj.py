@@ -194,7 +194,7 @@ class TAJ:
                 engine = TaintEngine(sdg, direct, heap_graph, self.rules,
                                      config.budget,
                                      strategy=config.slicing, obs=obs,
-                                     resilience=armed)
+                                     resilience=armed, jobs=config.jobs)
                 taint = engine.run()
                 span.set(flows=len(taint.flows), failed=taint.failed)
         except Exception as exc:

@@ -4,7 +4,9 @@ from .contexts import (CallSiteContext, Context, EMPTY, ObjContext,
                        clear_context_caches, truncate)
 from .heapgraph import HeapGraph
 from .keys import (AllocSite, FieldKey, InstanceKey, LocalKey, PointerKey,
-                   ReturnKey, StaticFieldKey, clear_key_caches)
+                   ReturnKey, StaticFieldKey, clear_key_caches,
+                   decode_instance_bits, encode_instance_keys,
+                   instance_key_count)
 from .policy import ContextPolicy, PolicyConfig
 from .ordering import ChaoticOrder, OrderingPolicy
 from .scc import UnionFind, copy_cycles
@@ -17,7 +19,8 @@ __all__ = [
     "LocalKey", "ObjContext", "OrderingPolicy", "PointerAnalysis",
     "PointerKey", "PolicyConfig", "ReturnKey", "SeedPointerAnalysis",
     "StaticFieldKey", "UnionFind", "clear_context_caches",
-    "clear_key_caches", "copy_cycles", "truncate",
+    "clear_key_caches", "copy_cycles", "decode_instance_bits",
+    "encode_instance_keys", "instance_key_count", "truncate",
 ]
 
 

@@ -3,8 +3,8 @@
 Andersen-style solvers spend most of their time re-propagating identical
 points-to sets around copy-edge cycles: every member of a cycle provably
 converges to the same set, so the cycle can be collapsed to a single
-representative whose set is shared.  This module supplies the two
-ingredients the solver needs:
+representative whose set — one bitset int in the optimised kernel — is
+shared.  This module supplies the two ingredients the solver needs:
 
 * :class:`UnionFind` — a union-find structure over pointer keys mapping
   every key to its current representative (path compression + union by
@@ -96,7 +96,10 @@ def copy_cycles(succs: Mapping[Key, Iterable[Key]],
     keys (the solver passes the sources of suspected cycle edges — any
     cycle through edge ``src -> dst`` is reachable from ``src``);
     ``None`` sweeps the whole graph.  Iterative Tarjan — constraint
-    graphs routinely exceed Python's recursion limit.
+    graphs routinely exceed Python's recursion limit.  ``succs`` is
+    read-only for the duration of the sweep (the solver only collapses
+    the discovered components afterwards), so successor iterables are
+    iterated in place without defensive copies.
     """
     index: Dict[Key, int] = {}
     lowlink: Dict[Key, int] = {}
@@ -115,7 +118,7 @@ def copy_cycles(succs: Mapping[Key, Iterable[Key]],
         counter += 1
         stack.append(start)
         on_stack[start] = True
-        work.append((start, iter(list(succs.get(start, ())))))
+        work.append((start, iter(succs.get(start, ()))))
         while work:
             node, it = work[-1]
             advanced = False
@@ -128,7 +131,7 @@ def copy_cycles(succs: Mapping[Key, Iterable[Key]],
                     counter += 1
                     stack.append(succ)
                     on_stack[succ] = True
-                    work.append((succ, iter(list(succs.get(succ, ())))))
+                    work.append((succ, iter(succs.get(succ, ()))))
                     advanced = True
                     break
                 if on_stack.get(succ):

@@ -20,7 +20,7 @@ already rewritten string manipulation into primitive ``StringOp``s, so
 strings never pollute points-to sets.
 
 This is the *optimised* kernel; the seed solver it replaced survives in
-:mod:`repro.pointer.baseline` as the differential/perf baseline.  Three
+:mod:`repro.pointer.baseline` as the differential/perf baseline.  Four
 constraint-graph optimisations (``docs/performance.md``) set the two
 apart:
 
@@ -28,11 +28,19 @@ apart:
   the union-find in :mod:`repro.pointer.scc`; every solver structure is
   keyed by representatives and cycle members share one points-to set;
 * **coalescing worklist** — a key already pending accumulates new facts
-  into its pending-delta set instead of enqueueing another entry, so a
-  key is processed once per drain with its whole accumulated delta (the
-  seed enqueued one frozenset per ``add_pts`` call);
+  into its pending-delta bitset instead of enqueueing another entry, so
+  a key is processed once per drain with its whole accumulated delta
+  (the seed enqueued one frozenset per ``add_pts`` call);
 * **interned keys** — see :mod:`repro.pointer.keys`: identity-compared,
-  hash-precomputed keys make the dict probes this loop lives on cheap.
+  hash-precomputed keys make the dict probes this loop lives on cheap;
+* **dense bitset points-to sets** — a points-to set is one Python int
+  over the dense instance-key ID space: union is ``|``, the new-facts
+  diff is ``delta & ~current``, and a whole-set propagation is a single
+  C-level big-int operation instead of a per-element hash loop.  Keys
+  decode back to :class:`~repro.pointer.keys.InstanceKey` objects only
+  at the API boundary (:meth:`PointerAnalysis.points_to`,
+  :meth:`PointerAnalysis.iter_pts`) and at the watch seams that need
+  per-object dispatch.
 """
 
 from __future__ import annotations
@@ -52,7 +60,8 @@ from ..ir import (ARRAY_CONTENTS, ArrayLoad, ArrayStore, Assign, Call, Cast,
                   Store)
 from .contexts import Context, EMPTY
 from .keys import (AllocSite, FieldKey, InstanceKey, LocalKey, PointerKey,
-                   ReturnKey, StaticFieldKey)
+                   ReturnKey, StaticFieldKey, decode_instance_bits,
+                   encode_instance_keys)
 from .ordering import ChaoticOrder, OrderingPolicy
 from .policy import ContextPolicy
 from .scc import UnionFind, copy_cycles
@@ -63,9 +72,13 @@ _EMPTY_FROZEN: FrozenSet[InstanceKey] = frozenset()
 class PointerAnalysis:
     """The solver; results live in ``pts``, ``call_graph``.
 
-    ``pts`` is keyed by cycle *representatives*; external callers should
-    go through :meth:`points_to` / :meth:`iter_pts`, which normalize any
-    key through the union-find.
+    ``pts`` is keyed by cycle *representatives* and its values are
+    **bitset ints** over the dense instance-key ID space; external
+    callers should go through :meth:`points_to` / :meth:`iter_pts`,
+    which normalize any key through the union-find and decode the bits
+    back into :class:`InstanceKey` sets (:meth:`iter_pts_bits` exposes
+    the raw representation for bitset-aware consumers such as
+    :class:`~repro.pointer.heapgraph.HeapGraph`).
     """
 
     def __init__(self, program: Program,
@@ -98,7 +111,9 @@ class PointerAnalysis:
         self.deadline_exceeded = False
 
         # All of the following are keyed by cycle representatives.
-        self.pts: Dict[PointerKey, Set[InstanceKey]] = {}
+        # Points-to sets are bitset ints (bit i set <=> the key may
+        # point to the instance key with dense index i).
+        self.pts: Dict[PointerKey, int] = {}
         # Copy successors as an insertion-ordered set (dict keys).
         self._succs: Dict[PointerKey, Dict[PointerKey, None]] = {}
         # base key -> [(field, destination local key)]
@@ -109,8 +124,8 @@ class PointerAnalysis:
         self._call_watch: Dict[PointerKey, List[Tuple[CGNode, Call]]] = {}
         self._dispatched: Set[Tuple[CGNode, int, InstanceKey]] = set()
         # Coalescing worklist: a key is pending iff it has an entry in
-        # _pending; facts arriving while pending merge into that set.
-        self._pending: Dict[PointerKey, Set[InstanceKey]] = {}
+        # _pending; facts arriving while pending OR into that bitset.
+        self._pending: Dict[PointerKey, int] = {}
         self._worklist: Deque[PointerKey] = deque()
         self._scc = UnionFind()
         # Lazy cycle detection: sources of copy edges that re-delivered a
@@ -191,32 +206,56 @@ class PointerAnalysis:
     def points_to(self, key: PointerKey) -> FrozenSet[InstanceKey]:
         """Immutable snapshot of a key's points-to set.
 
-        Returns a *copy*: the live internal set is shared by every
-        member of a collapsed cycle and must not leak to callers.
+        Decodes the internal bitset into a fresh frozenset, so the live
+        representation (shared by every member of a collapsed cycle)
+        never leaks to callers.
         """
-        current = self.pts.get(self._scc.find(key))
-        return frozenset(current) if current else _EMPTY_FROZEN
+        bits = self.pts.get(self._scc.find(key), 0)
+        return frozenset(decode_instance_bits(bits)) if bits \
+            else _EMPTY_FROZEN
+
+    def points_to_bits(self, key: PointerKey) -> int:
+        """A key's points-to set as a raw bitset int (union over the
+        dense instance-key ID space)."""
+        return self.pts.get(self._scc.find(key), 0)
 
     def points_to_var(self, method: str, var: str,
                       context: Optional[Context] = None) -> Set[InstanceKey]:
         """Points-to set of a local, unioned over contexts if none given."""
         if context is not None:
-            return self.points_to(LocalKey(method, context, var))
-        out: Set[InstanceKey] = set()
+            return set(self.points_to(LocalKey(method, context, var)))
+        bits = 0
+        pts_get = self.pts.get
+        find = self._scc.find
         for node in self.call_graph.nodes_of_method(method):
-            out |= self.points_to(LocalKey(method, node.context, var))
-        return out
+            bits |= pts_get(find(LocalKey(method, node.context, var)), 0)
+        return set(decode_instance_bits(bits))
+
+    def points_to_var_bits(self, method: str, var: str) -> int:
+        """Context-collapsed points-to set of a local as a bitset."""
+        bits = 0
+        pts_get = self.pts.get
+        find = self._scc.find
+        for node in self.call_graph.nodes_of_method(method):
+            bits |= pts_get(find(LocalKey(method, node.context, var)), 0)
+        return bits
 
     def iter_pts(self) -> Iterator[Tuple[PointerKey, Set[InstanceKey]]]:
         """(key, points-to set) for every key the solver has seen,
         including keys merged away by cycle collapsing (they yield their
-        representative's set).  The sets are live internals: read-only."""
+        representative's set).  Sets are freshly decoded copies."""
+        for key, bits in self.iter_pts_bits():
+            yield key, set(decode_instance_bits(bits))
+
+    def iter_pts_bits(self) -> Iterator[Tuple[PointerKey, int]]:
+        """(key, bitset) for every key the solver has seen — the
+        zero-copy view bitset-aware consumers build on."""
         yield from self.pts.items()
         find = self._scc.find
         for key in self._scc.merged_keys():
-            current = self.pts.get(find(key))
-            if current:
-                yield key, current
+            bits = self.pts.get(find(key), 0)
+            if bits:
+                yield key, bits
 
     def representative(self, key: PointerKey) -> PointerKey:
         """The key's cycle representative (itself if never merged)."""
@@ -254,23 +293,30 @@ class PointerAnalysis:
     def add_pts(self, key: PointerKey, ikeys: Iterable[InstanceKey]) -> bool:
         """Add instance keys to a pointer key, scheduling propagation.
 
+        The iterable-of-keys form is the external API (native-method
+        summaries build on it); internally everything rides on
+        :meth:`add_pts_bits`."""
+        return self.add_pts_bits(key, encode_instance_keys(ikeys))
+
+    def add_pts_bits(self, key: PointerKey, bits: int) -> bool:
+        """Bitset core of :meth:`add_pts`: OR ``bits`` into the key's
+        set, scheduling propagation of the genuinely new bits.
+
         Returns whether anything new arrived (the lazy-cycle-detection
-        trigger).  New facts coalesce into the key's pending-delta set,
-        so a key occupies at most one worklist slot."""
+        trigger).  New facts coalesce into the key's pending-delta
+        bitset, so a key occupies at most one worklist slot."""
         key = self._scc.find(key)
-        current = self.pts.get(key)
-        if current is None:
-            current = self.pts[key] = set()
-        new = [k for k in ikeys if k not in current]
+        current = self.pts.get(key, 0)
+        new = bits & ~current
         if not new:
             return False
-        current.update(new)
+        self.pts[key] = current | new
         pending = self._pending.get(key)
         if pending is None:
-            self._pending[key] = set(new)
+            self._pending[key] = new
             self._worklist.append(key)
         else:
-            pending.update(new)
+            self._pending[key] = pending | new
             self.stats["coalesced_deltas"] += 1
         return True
 
@@ -287,9 +333,9 @@ class PointerAnalysis:
             return
         succs[dst] = None
         self.stats["edges"] += 1
-        existing = self.pts.get(src)
+        existing = self.pts.get(src, 0)
         if existing:
-            self.add_pts(dst, existing)
+            self.add_pts_bits(dst, existing)
 
     def register_call_watch(self, key: PointerKey, node: CGNode,
                             call: Call) -> None:
@@ -297,9 +343,10 @@ class PointerAnalysis:
         already-known ones (used by native-method summaries too)."""
         key = self._scc.find(key)
         self._call_watch.setdefault(key, []).append((node, call))
-        # Snapshot: dispatching may grow this very set (coalesced facts
+        # Decoding yields a fresh list, so dispatching may grow the
+        # live set without invalidating this snapshot (coalesced facts
         # are delivered later through the watch we just registered).
-        for ikey in tuple(self.pts.get(key, ())):
+        for ikey in decode_instance_bits(self.pts.get(key, 0)):
             self._dispatch(node, call, ikey)
 
     # ------------------------------------------------------ constraint adding
@@ -373,7 +420,7 @@ class PointerAnalysis:
                class_name: str, lhs: str) -> None:
         heap_ctx = self.policy.heap_context(method, node.context)
         ikey = InstanceKey(AllocSite(node.method, iid, class_name), heap_ctx)
-        self.add_pts(self._local(node, lhs), {ikey})
+        self.add_pts_bits(self._local(node, lhs), ikey.bit)
 
     def _static_key(self, class_name: str, fld: str) -> StaticFieldKey:
         owner = self.hierarchy.resolve_field_owner(class_name, fld)
@@ -383,14 +430,14 @@ class PointerAnalysis:
                     dst: PointerKey) -> None:
         base = self._scc.find(base)
         self._load_watch.setdefault(base, []).append((fld, dst))
-        for ikey in tuple(self.pts.get(base, ())):
+        for ikey in decode_instance_bits(self.pts.get(base, 0)):
             self.add_copy_edge(FieldKey(ikey, fld), dst)
 
     def _watch_store(self, base: PointerKey, fld: str,
                      src: PointerKey) -> None:
         base = self._scc.find(base)
         self._store_watch.setdefault(base, []).append((fld, src))
-        for ikey in tuple(self.pts.get(base, ())):
+        for ikey in decode_instance_bits(self.pts.get(base, 0)):
             self.add_copy_edge(src, FieldKey(ikey, fld))
 
     def _add_call(self, node: CGNode, call: Call) -> None:
@@ -442,8 +489,8 @@ class PointerAnalysis:
         if self.call_graph.add_edge(node, call.iid, target):
             self.order.on_edge(node, target)
         if receiver is not None and not callee.is_static:
-            self.add_pts(LocalKey(callee.qname, context, "this"),
-                         {receiver})
+            self.add_pts_bits(LocalKey(callee.qname, context, "this"),
+                              receiver.bit)
         for actual, param in zip(call.args, callee.param_names()):
             self.add_copy_edge(self._local(node, actual),
                                LocalKey(callee.qname, context, param))
@@ -472,9 +519,10 @@ class PointerAnalysis:
         suspects = self._suspect_srcs
         lcd_batch = self.LCD_BATCH
         stats = self.stats
-        add_pts = self.add_pts
+        add_pts_bits = self.add_pts_bits
         add_copy_edge = self.add_copy_edge
         checked = self._lcd_checked
+        decode = decode_instance_bits
         while worklist:
             key = worklist.popleft()
             delta = pending.pop(key, None)
@@ -483,34 +531,44 @@ class PointerAnalysis:
             stats["propagations"] += 1
             succs = all_succs.get(key)
             if succs:
-                # add_pts never touches _succs, so iterate it directly.
+                # add_pts_bits never touches _succs: iterate directly.
+                # The whole delta moves per edge as one big-int OR.
                 for dst in succs:
                     if merged_probe(dst) is not None:
                         dst = find(dst)
                         if dst is key:
                             continue
-                    if not add_pts(dst, delta):
+                    if not add_pts_bits(dst, delta):
                         # Fully redundant re-delivery: this edge may
                         # close a copy cycle.  Check each edge once.
                         edge = (key, dst)
                         if edge not in checked:
                             checked.add(edge)
                             suspects[key] = None
+            # The field/call watch seams need per-object dispatch, so
+            # the delta is decoded once, lazily, and shared by all
+            # three watch kinds.
+            delta_keys = None
             watches = load_watch.get(key)
             if watches:
+                delta_keys = decode(delta)
                 for fld, dst in watches:
-                    for ikey in delta:
+                    for ikey in delta_keys:
                         add_copy_edge(FieldKey(ikey, fld), dst)
             watches = store_watch.get(key)
             if watches:
+                if delta_keys is None:
+                    delta_keys = decode(delta)
                 for fld, src in watches:
-                    for ikey in delta:
+                    for ikey in delta_keys:
                         add_copy_edge(src, FieldKey(ikey, fld))
             watches = call_watch.get(key)
             if watches:
+                if delta_keys is None:
+                    delta_keys = decode(delta)
                 # Snapshot: dispatching can register further watchers.
                 for caller_node, call in list(watches):
-                    for ikey in delta:
+                    for ikey in delta_keys:
                         self._dispatch(caller_node, call, ikey)
             if len(suspects) >= lcd_batch:
                 self._collapse_cycles()
@@ -555,7 +613,8 @@ class PointerAnalysis:
         metrics.gauge_max("pointer.worklist_depth_peak",
                           self._worklist_peak)
         metrics.record_values("pointer.pts_set_size",
-                              [len(pts) for pts in self.pts.values()])
+                              [bits.bit_count()
+                               for bits in self.pts.values()])
         metrics.gauge("pointer.pts_keys", len(self.pts))
         for name, value in self.call_graph.size_stats().items():
             metrics.gauge(f"callgraph.{name}", value)
@@ -588,24 +647,21 @@ class PointerAnalysis:
         unioned in the union-find)."""
         self.stats["keys_merged"] += 1
         find = self._scc.find
-        loser_pts = self.pts.pop(loser, None) or set()
-        loser_pending = self._pending.pop(loser, None) or set()
-        winner_pts = self.pts.get(winner)
-        if winner_pts is None:
-            winner_pts = self.pts[winner] = set()
+        loser_pts = self.pts.pop(loser, 0)
+        loser_pending = self._pending.pop(loser, 0)
+        winner_pts = self.pts.get(winner, 0)
         # Facts one side has propagated but the other has not: both
         # successor lists are about to be unified, so everything either
         # side might still owe its (old) successors must be re-pending.
-        owed = winner_pts.symmetric_difference(loser_pts)
-        owed |= loser_pending
-        winner_pts |= loser_pts
+        owed = (winner_pts ^ loser_pts) | loser_pending
+        self.pts[winner] = winner_pts | loser_pts
         if owed:
             pending = self._pending.get(winner)
             if pending is None:
-                self._pending[winner] = set(owed)
+                self._pending[winner] = owed
                 self._worklist.append(winner)
             else:
-                pending.update(owed)
+                self._pending[winner] = pending | owed
         # Unify copy successors, dropping self-loops and duplicates.
         merged: Dict[PointerKey, None] = {}
         for dst in (*self._succs.pop(winner, ()),

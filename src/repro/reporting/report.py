@@ -7,7 +7,7 @@ from typing import Dict, List, Optional
 
 from ..ir import Program
 from ..obs import DISABLED, Observability
-from ..taint.flows import TaintFlow
+from ..taint.flows import TaintFlow, canonical_flows
 from ..taint.rules import RuleSet
 from .lcp import FlowGroup, group_flows
 
@@ -71,6 +71,9 @@ def build_report(flows: List[TaintFlow], rules: RuleSet,
     raw counts into the metrics registry.
     """
     obs = obs or DISABLED
+    # Canonical order before grouping: representatives and issue order
+    # must not depend on flow discovery order (serial vs --jobs N).
+    flows = canonical_flows(flows)
     groups = group_flows(flows, rules)
     obs.audit.record_groups(groups)
     obs.metrics.inc("report.issues", len(groups))

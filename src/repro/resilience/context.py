@@ -147,6 +147,18 @@ class ResilienceContext:
         if self.failed_phase is None:
             self.failed_phase = phase
 
+    def absorb_child(self, degradations: List[Degradation],
+                     diagnostics: List) -> None:
+        """Replay the resilience record of a child process.
+
+        A forked worker (the parallel taint sweep) degrades and
+        diagnoses against its *copy* of this context; those mutations
+        die with the fork, so the worker ships its records home and the
+        parent replays them here — keeping :meth:`completeness` correct
+        no matter which process absorbed the fault."""
+        self.degradations.extend(degradations)
+        self.diagnostics.diagnostics.extend(diagnostics)
+
     # -- summary -----------------------------------------------------------
 
     def completeness(self) -> str:

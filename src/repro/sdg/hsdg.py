@@ -9,14 +9,20 @@ flow- and context-sensitive local half is the tabulation engine.
 Static fields need no aliasing: store and load match on field identity.
 The ``@any`` field marker (by-reference sources, paper footnote 2)
 matches loads of every field on an aliased base.
+
+The may-alias test ``base_pts ∩ load_pts ≠ ∅`` runs once per
+(store, load) pair per rule, which makes it one of slicing's hottest
+predicates.  Against the optimised solver the context-collapsed sets
+are cached as **bitset ints** and the test is a single big-int AND;
+solvers without a dense ID space (the seed baseline) fall back to the
+frozenset view so the differential pipeline still runs end to end.
 """
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, List, Optional, Set, Tuple
+from typing import Dict, FrozenSet, List, Optional, Tuple
 
 from ..pointer.keys import InstanceKey
-from ..pointer.solver import PointerAnalysis
 from .nodes import StmtRef
 from .noheap import ANY_FIELD, LoadSite, NoHeapSDG, StoreSite
 
@@ -24,10 +30,13 @@ from .noheap import ANY_FIELD, LoadSite, NoHeapSDG, StoreSite
 class DirectEdges:
     """Demand store→load matching over a pointer-analysis solution."""
 
-    def __init__(self, sdg: NoHeapSDG, analysis: PointerAnalysis) -> None:
+    def __init__(self, sdg: NoHeapSDG, analysis: object) -> None:
         self.sdg = sdg
         self.analysis = analysis
         self._pts_cache: Dict[Tuple[str, str], FrozenSet[InstanceKey]] = {}
+        self._bits_cache: Dict[Tuple[str, str], int] = {}
+        # Bitset fast path (optimised solver only).
+        self._bits_fn = getattr(analysis, "points_to_var_bits", None)
 
     def points_to(self, method: str, var: str) -> FrozenSet[InstanceKey]:
         """Context-collapsed points-to set of a local (cached)."""
@@ -36,6 +45,16 @@ class DirectEdges:
         if cached is None:
             cached = frozenset(self.analysis.points_to_var(method, var))
             self._pts_cache[key] = cached
+        return cached
+
+    def points_to_bits(self, method: str, var: str) -> int:
+        """Context-collapsed points-to set as a bitset (cached); only
+        valid when the backing solver exposes a dense ID space."""
+        key = (method, var)
+        cached = self._bits_cache.get(key)
+        if cached is None:
+            cached = self._bits_fn(method, var)
+            self._bits_cache[key] = cached
         return cached
 
     def loads_for_store(self, store: StoreSite,
@@ -50,10 +69,18 @@ class DirectEdges:
         if store.base is None:
             # Static field: match by field identity.
             return list(self.sdg.loads_of_field(store.fld))
-        if eff_base is not None:
-            base_pts = self.points_to(*eff_base)
-        else:
-            base_pts = self.points_to(store.stmt.method, store.base)
+        base = eff_base if eff_base is not None \
+            else (store.stmt.method, store.base)
+        if self._bits_fn is not None:
+            base_bits = self.points_to_bits(*base)
+            if not base_bits:
+                return []
+            points_to_bits = self.points_to_bits
+            return [load for load in self.sdg.loads_of_field(store.fld)
+                    if load.base is not None
+                    and base_bits & points_to_bits(load.stmt.method,
+                                                   load.base)]
+        base_pts = self.points_to(*base)
         if not base_pts:
             return []
         out: List[LoadSite] = []
@@ -69,6 +96,15 @@ class DirectEdges:
                                  var: str) -> List[LoadSite]:
         """Loads of *any* field of objects aliased with ``var`` — used
         for by-reference sources that taint an object's whole state."""
+        if self._bits_fn is not None:
+            base_bits = self.points_to_bits(method, var)
+            if not base_bits:
+                return []
+            points_to_bits = self.points_to_bits
+            return [load for load in self.sdg.loads_of_field(ANY_FIELD)
+                    if load.base is not None
+                    and base_bits & points_to_bits(load.stmt.method,
+                                                   load.base)]
         base_pts = self.points_to(method, var)
         if not base_pts:
             return []

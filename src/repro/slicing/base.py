@@ -80,12 +80,15 @@ class FlowCollector:
                          heap_transitions=heap_transitions)
         key = flow.key()
         existing = self._flows.get(key)
-        if existing is None or flow.length < existing.length:
+        # Prefer the shortest witness; break length ties by sort key so
+        # the survivor never depends on traversal discovery order.
+        if existing is None or flow.length < existing.length or (
+                flow.length == existing.length
+                and flow.sort_key() < existing.sort_key()):
             self._flows[key] = flow
 
     def flows(self) -> List[TaintFlow]:
-        return sorted(self._flows.values(),
-                      key=lambda f: (f.rule, str(f.source), str(f.sink)))
+        return sorted(self._flows.values(), key=TaintFlow.sort_key)
 
 
 class Slicer:

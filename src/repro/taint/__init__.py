@@ -2,12 +2,12 @@
 
 from .carriers import CarrierIndex
 from .engine import TaintEngine, TaintResult, make_slicer
-from .flows import TaintFlow
+from .flows import TaintFlow, canonical_flows
 from .rules import (MethodSpec, RuleSet, SecurityRule, default_rules,
                     extended_rules)
 
 __all__ = [
     "CarrierIndex", "MethodSpec", "RuleSet", "SecurityRule", "TaintEngine",
-    "TaintFlow", "TaintResult", "default_rules", "extended_rules",
-    "make_slicer",
+    "TaintFlow", "TaintResult", "canonical_flows", "default_rules",
+    "extended_rules", "make_slicer",
 ]

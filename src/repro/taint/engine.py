@@ -12,15 +12,33 @@ the cheaper strategy, and each step is recorded as a
 ladder disabled) a budget trip is the paper's CS out-of-memory failure:
 the run is marked failed — but flows from rules that completed are still
 reported, never wiped.
+
+Parallel sweep (``jobs > 1``): the per-rule sweep is embarrassingly
+parallel — each rule slices the same read-only SDG — so it fans out over
+a fork-based :class:`~concurrent.futures.ProcessPoolExecutor`.  Workers
+inherit the SDG, direct edges, and heap graph through fork (nothing is
+pickled on the way in); each worker slices one rule, walks its *own*
+rung of the ladder on a budget/deadline trip (a tripped worker degrades
+that rule, not the run), and ships back a picklable
+:class:`_RuleOutcome` — flows, degradations, diagnostics, a metrics
+registry, and span timings — which the parent merges **in rule order**,
+so the merged result does not depend on worker scheduling.  ``jobs=1``
+is the unmodified serial reference path.  Either way the engine's flows
+leave in :func:`~repro.taint.flows.canonical_flows` order, which is what
+makes ``--jobs N`` and serial runs byte-identical
+(``docs/performance.md``).
 """
 
 from __future__ import annotations
 
+import multiprocessing as mp
+import time
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
 from ..bounds import Budget, BudgetExhausted, StateMeter
-from ..obs import DISABLED
+from ..obs import DISABLED, MetricsRegistry
 from ..pointer.heapgraph import HeapGraph
 from ..resilience import (Degradation, DeadlineExceeded, next_strategy,
                           trigger_of)
@@ -28,8 +46,12 @@ from ..sdg.hsdg import DirectEdges
 from ..sdg.noheap import NoHeapSDG
 from ..slicing import CISlicer, CSSlicer, HybridSlicer, Slicer
 from ..slicing.base import enumerate_sources
-from .flows import TaintFlow
+from .flows import TaintFlow, canonical_flows
 from .rules import RuleSet
+
+# Ladder rungs ordered precise -> cheap, for merging per-rule final
+# strategies into the sweep-level one.
+_STRATEGY_RANK = {"cs": 0, "hybrid": 1, "ci": 2}
 
 
 @dataclass
@@ -63,6 +85,40 @@ class TaintResult:
         return out
 
 
+@dataclass
+class _RuleOutcome:
+    """One worker's verdict on one rule — everything the parent needs
+    to reconstruct what the serial sweep would have recorded.  Crosses
+    the process boundary by pickle; interned keys re-intern on the way
+    (``pointer.keys.__reduce__``)."""
+
+    index: int
+    rule: str
+    flows: List[TaintFlow] = field(default_factory=list)
+    completed: bool = False
+    failed: bool = False
+    failure: Optional[str] = None
+    truncated: bool = False
+    suppressed_by_length: int = 0
+    state_units: int = 0
+    final_strategy: str = "hybrid"
+    degradations: List[Degradation] = field(default_factory=list)
+    diagnostics: List[object] = field(default_factory=list)
+    started: float = 0.0
+    duration: float = 0.0
+    metrics: Optional[MetricsRegistry] = None
+
+
+# Fork-shared worker state: the parent parks the engine here right
+# before the pool forks, so children reach the SDG through inherited
+# memory instead of pickling it per task.
+_WORKER_ENGINE: Optional["TaintEngine"] = None
+
+
+def _worker_slice(index: int) -> _RuleOutcome:
+    return _WORKER_ENGINE._slice_one(index)
+
+
 def make_slicer(strategy: str, sdg: NoHeapSDG, direct: DirectEdges,
                 heap_graph: HeapGraph, budget: Budget,
                 meter: Optional[StateMeter] = None,
@@ -85,7 +141,8 @@ class TaintEngine:
     def __init__(self, sdg: NoHeapSDG, direct: DirectEdges,
                  heap_graph: HeapGraph, rules: RuleSet, budget: Budget,
                  strategy: str = "hybrid", obs: Optional[object] = None,
-                 resilience: Optional[object] = None) -> None:
+                 resilience: Optional[object] = None,
+                 jobs: int = 1) -> None:
         self.sdg = sdg
         self.direct = direct
         self.heap_graph = heap_graph
@@ -94,6 +151,8 @@ class TaintEngine:
         self.strategy = strategy
         self.obs = DISABLED if obs is None else obs
         self.resilience = resilience
+        self.jobs = max(1, jobs)
+        self._rule_list: List = []
 
     # -- strategy construction -----------------------------------------------
 
@@ -110,12 +169,15 @@ class TaintEngine:
             meter.charge(sum(len(v) for v in modref.values()))
         return slicer
 
-    def _recover(self, result: TaintResult, strategy: str,
+    def _recover(self, result, strategy: str,
                  exc: Exception) -> Tuple[str, Optional[Slicer]]:
         """One step of the degradation ladder, or abort the sweep.
 
-        Returns ``(strategy, slicer)``; a ``None`` slicer means the
-        sweep stops (flows collected so far are kept either way).
+        ``result`` is the record being built — the serial sweep's
+        :class:`TaintResult` or a worker's :class:`_RuleOutcome` (both
+        carry ``degradations`` / ``failed`` / ``failure``).  Returns
+        ``(strategy, slicer)``; a ``None`` slicer means the sweep (or
+        the worker's rule) stops — flows collected so far are kept.
         """
         res = self.resilience
         fallback = None
@@ -145,6 +207,31 @@ class TaintEngine:
     # -- the sweep -----------------------------------------------------------
 
     def run(self) -> TaintResult:
+        rules = self._rule_list = list(self.rules)
+        if self.jobs > 1 and len(rules) > 1 \
+                and "fork" in mp.get_all_start_methods():
+            result = self._run_parallel(rules)
+        else:
+            result = self._run_serial(rules)
+        # Canonical flow order — shared by every jobs setting, and the
+        # form everything downstream (grouping, JSON, differential
+        # harness) consumes.
+        result.flows = canonical_flows(result.flows)
+        metrics = self.obs.metrics
+        metrics.inc("taint.rules_consulted", len(rules))
+        metrics.inc("taint.flows", len(result.flows))
+        metrics.inc("taint.suppressed_by_length",
+                    result.suppressed_by_length)
+        metrics.gauge("taint.state_units", result.state_units)
+        if result.degradations:
+            metrics.inc("taint.degradations", len(result.degradations))
+        if result.failed:
+            metrics.inc("taint.budget_failures")
+        return result
+
+    # -- serial reference path ------------------------------------------------
+
+    def _run_serial(self, rules: List) -> TaintResult:
         obs = self.obs
         tracer = obs.tracer
         audit = obs.audit
@@ -158,7 +245,6 @@ class TaintEngine:
             # CS's upfront channel charge can exhaust the budget before
             # the first rule runs.
             strategy, slicer = self._recover(result, strategy, exc)
-        rules = list(self.rules)
         index = 0
         while slicer is not None and index < len(rules):
             rule = rules[index]
@@ -181,6 +267,8 @@ class TaintEngine:
                 res.diagnostics.absorb("taint", exc, rule=rule.name)
                 index += 1
                 continue
+            obs.metrics.record_time("taint.rule_seconds", span.duration)
+            obs.metrics.record_value("taint.rule_flows", len(flows))
             if audit.enabled:
                 # The witness chain starts at the rule's enumerated
                 # source seeds; each surviving flow records what was
@@ -197,14 +285,129 @@ class TaintEngine:
             result.suppressed_by_length += slicer.suppressed_by_length
         result.state_units = meter.used
         result.final_strategy = strategy
-        metrics = obs.metrics
-        metrics.inc("taint.rules_consulted", len(rules))
-        metrics.inc("taint.flows", len(result.flows))
-        metrics.inc("taint.suppressed_by_length",
-                    result.suppressed_by_length)
-        metrics.gauge("taint.state_units", result.state_units)
-        if result.degradations:
-            metrics.inc("taint.degradations", len(result.degradations))
-        if result.failed:
-            metrics.inc("taint.budget_failures")
+        return result
+
+    # -- parallel sweep --------------------------------------------------------
+
+    def _slice_one(self, index: int) -> _RuleOutcome:
+        """Worker body: slice one rule behind its own degradation
+        ladder.  Runs in a forked child; every mutation it makes (its
+        resilience context, a CS SDG's disabled channels) is invisible
+        to the parent, so everything the parent must know rides home on
+        the returned outcome."""
+        rule = self._rule_list[index]
+        res = self.resilience
+        out = _RuleOutcome(index=index, rule=rule.name,
+                           final_strategy=self.strategy)
+        if self.obs.metrics.enabled:
+            out.metrics = MetricsRegistry()
+        strategy = self.strategy
+        meter = StateMeter(self.budget.max_state_units)
+        out.started = time.perf_counter()
+        try:
+            slicer: Optional[Slicer] = self._make(strategy, meter)
+        except (BudgetExhausted, DeadlineExceeded) as exc:
+            strategy, slicer = self._recover(out, strategy, exc)
+        while slicer is not None:
+            try:
+                if res is not None:
+                    res.check(f"slicing.{strategy}", phase="taint")
+                flows = slicer.slice_rule(rule)
+            except (BudgetExhausted, DeadlineExceeded) as exc:
+                out.truncated = out.truncated or slicer.truncated
+                out.suppressed_by_length += slicer.suppressed_by_length
+                strategy, slicer = self._recover(out, strategy, exc)
+                continue  # same rule, cheaper rung
+            except Exception as exc:
+                if res is None or not res.active:
+                    raise
+                out.diagnostics.append(
+                    res.diagnostics.absorb("taint", exc, rule=rule.name))
+                slicer = None
+                break
+            out.flows = flows
+            out.completed = True
+            break
+        out.duration = time.perf_counter() - out.started
+        if slicer is not None:
+            out.truncated = out.truncated or slicer.truncated
+            out.suppressed_by_length += slicer.suppressed_by_length
+        out.state_units = meter.used
+        out.final_strategy = strategy
+        if out.metrics is not None:
+            out.metrics.record_time("taint.rule_seconds", out.duration)
+            out.metrics.record_value("taint.rule_flows", len(out.flows))
+        return out
+
+    def _run_parallel(self, rules: List) -> TaintResult:
+        global _WORKER_ENGINE
+        jobs = min(self.jobs, len(rules))
+        ctx = mp.get_context("fork")
+        _WORKER_ENGINE = self
+        try:
+            with ProcessPoolExecutor(max_workers=jobs,
+                                     mp_context=ctx) as pool:
+                outcomes = list(pool.map(_worker_slice,
+                                         range(len(rules))))
+        finally:
+            _WORKER_ENGINE = None
+        return self._merge_outcomes(rules, outcomes, jobs)
+
+    def _merge_outcomes(self, rules: List, outcomes: List[_RuleOutcome],
+                        jobs: int) -> TaintResult:
+        """Fold worker outcomes into one :class:`TaintResult`, in rule
+        order — worker scheduling never reaches the result.
+
+        Failure semantics mirror the serial sweep: the first rule whose
+        worker hard-failed (budget trip, no rung left) marks the run
+        failed, and flows from later rules are dropped — serial would
+        never have sliced them.  Their spans and metrics are still
+        merged (the work happened), but their resilience records are
+        not replayed.
+        """
+        obs = self.obs
+        tracer = obs.tracer
+        audit = obs.audit
+        res = self.resilience
+        result = TaintResult()
+        result.final_strategy = self.strategy
+        final_rank = _STRATEGY_RANK.get(self.strategy, 1)
+        for out in outcomes:
+            tracer.add_completed(
+                "taint.rule", out.started, out.duration,
+                {"rule": out.rule, "strategy": out.final_strategy,
+                 "flows": len(out.flows), "parallel": True})
+            if out.metrics is not None:
+                obs.metrics.merge(out.metrics)
+            if result.failed:
+                continue
+            if res is not None:
+                # Replay the worker's resilience record: the child's
+                # context mutations died with the fork.
+                res.absorb_child(out.degradations, out.diagnostics)
+            result.degradations.extend(out.degradations)
+            result.truncated = result.truncated or out.truncated
+            result.suppressed_by_length += out.suppressed_by_length
+            # Per-worker meters are independent; the sweep's abstract
+            # memory high-water mark is the worst single rule.
+            result.state_units = max(result.state_units, out.state_units)
+            rank = _STRATEGY_RANK.get(out.final_strategy, 1)
+            if rank > final_rank:
+                final_rank = rank
+                result.final_strategy = out.final_strategy
+            if out.failed:
+                result.failed = True
+                result.failure = out.failure
+                continue
+            if not out.completed:
+                continue
+            if audit.enabled:
+                rule = rules[out.index]
+                seeds = len(enumerate_sources(self.sdg, rule))
+                audit.record_rule(rule, seeds, len(out.flows))
+                for flow in out.flows:
+                    audit.record_flow(flow, rule, seeds)
+            result.flows.extend(out.flows)
+            result.completed_rules.append(out.rule)
+        obs.metrics.gauge("taint.parallel_jobs", jobs)
         return result

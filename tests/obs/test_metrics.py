@@ -106,3 +106,63 @@ def test_null_registry_is_inert():
     assert NULL_REGISTRY.timer_summary("t")["count"] == 0
     assert NULL_REGISTRY.snapshot() == {}
     assert not NULL_REGISTRY.enabled
+
+
+def test_merge_counters_sum_and_gauges_keep_max():
+    a = MetricsRegistry()
+    b = MetricsRegistry()
+    a.inc("taint.flows", 3)
+    b.inc("taint.flows", 4)
+    b.inc("taint.rules", 1)
+    a.gauge("taint.state_units", 10)
+    b.gauge("taint.state_units", 7)
+    b.gauge("taint.parallel_jobs", 4)
+    a.merge(b)
+    assert a.counter_value("taint.flows") == 7
+    assert a.counter_value("taint.rules") == 1
+    assert a.gauge_value("taint.state_units") == 10
+    assert a.gauge_value("taint.parallel_jobs") == 4
+
+
+def test_merge_concatenates_histogram_observations():
+    a = MetricsRegistry()
+    b = MetricsRegistry()
+    a.record_time("taint.rule_seconds", 1.0)
+    b.record_time("taint.rule_seconds", 3.0)
+    b.record_value("taint.rule_flows", 5)
+    a.merge(b)
+    timer = a.timer_summary("taint.rule_seconds")
+    assert timer["count"] == 2
+    assert timer["total"] == 4.0
+    assert timer["max"] == 3.0
+    hist = a.snapshot()["histograms"]["taint.rule_flows"]
+    assert hist["count"] == 1 and hist["total"] == 5
+    # The donor registry is untouched.
+    assert b.timer_summary("taint.rule_seconds")["count"] == 1
+
+
+def test_merge_of_pooled_workers_matches_single_registry():
+    """Merging per-worker registries must equal recording everything
+    into one registry (the serial/parallel metric-parity contract)."""
+    whole = MetricsRegistry()
+    workers = [MetricsRegistry() for _ in range(3)]
+    for i, reg in enumerate(workers):
+        for target in (whole, reg):
+            target.inc("taint.worker_rules")
+            target.record_time("taint.rule_seconds", 0.5 * (i + 1))
+            target.record_value("taint.rule_flows", i)
+            target.gauge_max("taint.state_units", 10 * i)
+    merged = MetricsRegistry()
+    for reg in workers:
+        merged.merge(reg)
+    assert merged.snapshot() == whole.snapshot()
+
+
+def test_merge_ignores_null_registry():
+    reg = MetricsRegistry()
+    reg.inc("x", 1)
+    reg.merge(NULL_REGISTRY)
+    assert reg.counter_value("x") == 1
+    # And the null registry absorbs nothing, silently.
+    NULL_REGISTRY.merge(reg)
+    assert NULL_REGISTRY.snapshot() == {}

@@ -1,0 +1,96 @@
+"""Ordering-policy invariants: the constraint-adding order may change
+how the fixpoint is reached, never which fixpoint is reached."""
+
+import pytest
+
+from repro.bounds import Budget
+from repro.callgraph import PriorityOrder
+from repro.ir import validate_program
+from repro.lang import lower_source
+from repro.pointer import ChaoticOrder, ContextPolicy, PointerAnalysis
+from repro.pointer.ordering import OrderingPolicy
+from repro.ssa import program_to_ssa
+
+LIB = """
+library class Object { }
+"""
+
+SOURCE = """
+class A { }
+class B { }
+class Box { Object f; }
+class Helper {
+  Object make() { return new A(); }
+  Object wrap(Box box) { box.f = new B(); return box.f; }
+}
+class Main {
+  static void main() {
+    Helper h = new Helper();
+    Box box = new Box();
+    Object x = h.make();
+    Object y = h.wrap(box);
+    Object z = box.f;
+  }
+}
+"""
+
+
+def analyze(order):
+    program = lower_source(LIB + SOURCE)
+    program.entrypoints.append("Main.main/0")
+    program_to_ssa(program)
+    validate_program(program)
+    analysis = PointerAnalysis(program, ContextPolicy(), order=order,
+                               budget=Budget())
+    analysis.solve()
+    return analysis
+
+
+def canonical(analysis):
+    return {str(k): frozenset(str(i) for i in pts)
+            for k, pts in analysis.iter_pts() if pts}
+
+
+def test_chaotic_order_is_fifo():
+    order = ChaoticOrder()
+    nodes = ["n1", "n2", "n3"]
+    for node in nodes:
+        order.on_node_created(node)
+    assert bool(order)
+    assert [order.pop() for _ in nodes] == nodes
+    assert not order
+    assert order.pop() is None
+
+
+def test_on_edge_is_optional_for_policies():
+    # The base hook is a no-op: FIFO policies need not track edges.
+    ChaoticOrder().on_edge("caller", "callee")
+
+
+def test_base_policy_is_abstract():
+    policy = OrderingPolicy()
+    with pytest.raises(NotImplementedError):
+        policy.on_node_created("n")
+    with pytest.raises(NotImplementedError):
+        policy.pop()
+    with pytest.raises(NotImplementedError):
+        bool(policy)
+
+
+def test_solution_is_order_independent():
+    """Chaotic and priority-driven constraint adding reach the same
+    points-to fixpoint when no budget truncates the sweep."""
+    chaotic = analyze(ChaoticOrder())
+    priority = analyze(PriorityOrder({"HttpServletRequest.getParameter"},
+                                     10 ** 9))
+    assert canonical(chaotic) == canonical(priority)
+    assert not chaotic.truncated and not priority.truncated
+
+
+def test_priority_order_drains_every_created_node():
+    order = PriorityOrder(set(), 10 ** 9)
+    pa = analyze(order)
+    # Every call-graph node got its constraints added: the queue is dry.
+    assert not order
+    assert order.pop() is None
+    assert pa.call_graph.node_count() > 0

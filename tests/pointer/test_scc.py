@@ -5,7 +5,7 @@ from repro.ir import validate_program
 from repro.lang import lower_source
 from repro.pointer import (ContextPolicy, PointerAnalysis, UnionFind,
                            copy_cycles)
-from repro.pointer.keys import LocalKey
+from repro.pointer.keys import LocalKey, decode_instance_bits
 from repro.pointer.contexts import EMPTY
 
 LIB = """
@@ -161,11 +161,12 @@ def test_points_to_returns_immutable_copy():
     view = pa.points_to(key)
     assert isinstance(view, frozenset)
     assert view
-    # Mutating the returned view must be impossible; the live internal
-    # set (shared by the whole collapsed cycle) must not leak.
+    # The decoded view must agree with the internal bitset (shared by the
+    # whole collapsed cycle), and the bitset itself must not leak.
     internal = pa.pts.get(pa.representative(key))
-    assert view == frozenset(internal)
-    assert view is not internal
+    assert isinstance(internal, int)
+    assert view == frozenset(decode_instance_bits(internal))
+    assert pa.points_to_bits(key) == internal
 
 
 def test_merged_keys_still_enumerate_via_iter_pts():

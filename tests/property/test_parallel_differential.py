@@ -1,0 +1,99 @@
+"""Corpus differential: the bitset kernel and the parallel sweep against
+their reference implementations, over the micro + securibench corpora.
+
+Three contracts, each on every corpus program:
+
+* **points-to** — the bitset-int kernel
+  (:class:`repro.pointer.PointerAnalysis`) computes bit-for-bit the same
+  points-to relation as the preserved seed solver
+  (:class:`repro.pointer.SeedPointerAnalysis`);
+* **per-rule flows** — the full taint pipeline (SDG, direct edges, heap
+  graph, hybrid slicing) run over either solver finds the identical
+  per-rule flow sets, so the representation change never reaches a
+  report;
+* **jobs invariance** — the parallel per-rule sweep (``jobs=4``) returns
+  exactly the serial sweep's flows, in the same canonical order.
+
+The hypothesis-driven random-program differential lives in
+``test_differential.py``; this file pins the fixed corpora the
+benchmarks (and the paper's evaluation) run on.
+"""
+
+import pytest
+
+from repro.bounds import Budget
+from repro.bench.micro import MICRO_CASES, MOTIVATING
+from repro.bench.securibench import CASES
+from repro.modeling import default_natives, prepare
+from repro.pointer import (ChaoticOrder, ContextPolicy, PointerAnalysis,
+                           SeedPointerAnalysis)
+from repro.pointer.heapgraph import HeapGraph
+from repro.sdg.hsdg import DirectEdges
+from repro.sdg.noheap import NoHeapSDG
+from repro.taint import TaintEngine, default_rules
+
+
+def corpus():
+    programs = [("micro:motivating", MOTIVATING)]
+    programs += [(f"micro:{name}", src)
+                 for name, (src, _) in MICRO_CASES.items()]
+    for cat, cases in CASES.items():
+        programs += [(f"securibench:{cat}:{name}", src)
+                     for name, (src, _) in cases.items()]
+    return programs
+
+
+CORPUS = corpus()
+CORPUS_IDS = [name for name, _ in CORPUS]
+
+
+def solve_with(cls, prepared):
+    analysis = cls(prepared.program, ContextPolicy(),
+                   natives=default_natives(), order=ChaoticOrder())
+    analysis.solve()
+    return analysis
+
+
+def canonical_solution(analysis):
+    return {str(key): frozenset(str(ik) for ik in pts)
+            for key, pts in analysis.iter_pts() if pts}
+
+
+def flows_by_rule(analysis, prepared, jobs=1):
+    sdg = NoHeapSDG(prepared.program, analysis.call_graph)
+    engine = TaintEngine(sdg, DirectEdges(sdg, analysis),
+                         HeapGraph(analysis), default_rules(), Budget(),
+                         jobs=jobs)
+    result = engine.run()
+    out = {}
+    for flow in result.flows:
+        out.setdefault(flow.rule, set()).add(
+            (str(flow.source), str(flow.sink), flow.sink_display,
+             str(flow.lcp), flow.length, flow.via_carrier))
+    return out
+
+
+@pytest.mark.parametrize("name,source", CORPUS, ids=CORPUS_IDS)
+def test_bitset_kernel_and_flows_match_seed(name, source):
+    prepared = prepare([source])
+    seed = solve_with(SeedPointerAnalysis, prepared)
+    optimized = solve_with(PointerAnalysis, prepared)
+    assert canonical_solution(optimized) == canonical_solution(seed), name
+    assert flows_by_rule(optimized, prepared) == \
+        flows_by_rule(seed, prepared), name
+
+
+@pytest.mark.parametrize("name,source", CORPUS, ids=CORPUS_IDS)
+def test_parallel_sweep_is_jobs_invariant(name, source):
+    prepared = prepare([source])
+    analysis = solve_with(PointerAnalysis, prepared)
+    sdg = NoHeapSDG(prepared.program, analysis.call_graph)
+    direct = DirectEdges(sdg, analysis)
+    heap = HeapGraph(analysis)
+    serial = TaintEngine(sdg, direct, heap, default_rules(),
+                         Budget()).run()
+    parallel = TaintEngine(sdg, direct, heap, default_rules(), Budget(),
+                           jobs=4).run()
+    assert [f.sort_key() for f in parallel.flows] == \
+        [f.sort_key() for f in serial.flows], name
+    assert parallel.completed_rules == serial.completed_rules, name
