@@ -23,6 +23,8 @@ Two entry points:
 from __future__ import annotations
 
 import argparse
+import json
+import os
 import sys
 import time
 from pathlib import Path
@@ -184,10 +186,15 @@ def bench_parallel_taint(repeats: int = 3,
     if not identical:
         raise AssertionError(
             "parallel sweep diverged from the serial reference")
+    try:
+        cores = len(os.sched_getaffinity(0))
+    except AttributeError:  # non-Linux
+        cores = os.cpu_count() or 1
     return {
         "programs": len(sources),
         "rules": len(list(default_rules())),
         "flows": len(serial.flows),
+        "cores": cores,
         "jobs": jobs,
         "jobs1_wall_s": round(serial_t, 4),
         f"jobs{jobs}_wall_s": round(parallel_t, 4),
@@ -289,6 +296,16 @@ def main(argv=None) -> int:
 
     payload = run_bench(quick=args.quick, repeats=args.repeats)
     print(format_summary(payload))
+    # Keep rows other benchmarks merged into the artifact (the
+    # parallel_scaling sweep writes under its own top-level key).
+    target = Path(args.out)
+    if target.exists():
+        try:
+            existing = json.loads(target.read_text(encoding="utf-8"))
+        except ValueError:
+            existing = {}
+        for key, value in existing.items():
+            payload.setdefault(key, value)
     write_bench_json(args.out, payload)
     print(f"\nwrote {args.out}")
 

@@ -1,0 +1,286 @@
+"""Parallel taint-sweep scaling benchmark: jobs × corpus scale.
+
+Sweeps the persistent-worker-pool sweep (``repro.parallel``) over
+generator corpora scaled 10–100× (``scaling_corpus``), at jobs ∈
+{1, 2, 4, 8}, and records a per-phase breakdown of where the wall
+clock went: snapshot serialization, pool startup (worker spawn +
+snapshot deserialization), shard compute, and the deterministic merge.
+
+The headline guarantee is byte-identity, not speed: every (jobs,
+scale) cell's flows must match the serial reference exactly, and the
+run aborts if they do not.  Speedup is reported honestly against the
+host: the artifact records the core count, and the ``--check`` gate
+only enforces the 2× bar at jobs=4 when the host actually has >= 4
+cores — on a single-core box parallelism cannot pay by physics, and
+the gate degrades to identity-plus-bookkeeping assertions with a
+warning instead of a vacuous failure (or a dishonest pass).
+
+Entry point (script only):
+
+    PYTHONPATH=src python benchmarks/parallel_scaling.py
+        [--scales 10 30] [--jobs 1 2 4 8] [--repeats N]
+        [--quick] [--check] [--out BENCH_solver.json]
+
+Results merge into ``BENCH_solver.json`` under the
+``parallel_scaling`` key, preserving the solver rows already there.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+from pathlib import Path
+from typing import Dict, List, Optional
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+if str(REPO_ROOT / "src") not in sys.path:  # script mode
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.bench.generator import scaling_corpus
+from repro.bench.harness import write_bench_json
+from repro.bounds import Budget
+from repro.modeling import default_natives, prepare
+from repro.obs import Observability
+from repro.pointer import ContextPolicy, PointerAnalysis
+from repro.pointer.heapgraph import HeapGraph
+from repro.sdg.hsdg import DirectEdges
+from repro.sdg.noheap import NoHeapSDG
+from repro.taint import TaintEngine, default_rules
+
+SCALES = [10, 30]
+JOBS = [1, 2, 4, 8]
+REPEATS = 3
+TARGET_SPEEDUP = 2.0            # at jobs=4, enforced when cores allow
+MIN_CORES_FOR_BAR = 4
+
+
+def host_cores() -> int:
+    """Cores this process may actually run on (affinity-aware)."""
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # non-Linux
+        return os.cpu_count() or 1
+
+
+def build_pieces(scale: int):
+    """Corpus -> solved pointer analysis -> SDG, shared across jobs."""
+    app = scaling_corpus(scale)
+    prepared = prepare(app.sources)
+    analysis = PointerAnalysis(prepared.program, ContextPolicy(),
+                               natives=default_natives())
+    analysis.solve()
+    sdg = NoHeapSDG(prepared.program, analysis.call_graph)
+    return app, sdg, DirectEdges(sdg, analysis), HeapGraph(analysis)
+
+
+def sweep(pieces, jobs: int, repeats: int) -> Dict[str, object]:
+    """Best-of-``repeats`` engine sweep; returns the timing cell.
+
+    Observability is re-armed per repeat so the phase gauges belong to
+    the best run's repeat, not an average across warm and cold pools.
+    """
+    _, sdg, direct, heap = pieces
+    best: Optional[float] = None
+    cell: Dict[str, object] = {}
+    flows: List = []
+    for _ in range(repeats):
+        obs = Observability()
+        engine = TaintEngine(sdg, direct, heap, default_rules(),
+                             Budget(), jobs=jobs, obs=obs)
+        t0 = time.perf_counter()
+        result = engine.run()
+        wall = time.perf_counter() - t0
+        if best is not None and wall >= best:
+            continue
+        best = wall
+        flows = result.flows
+        metrics = obs.metrics
+        shard_timer = metrics.timer_summary("taint.pool.shard_seconds")
+        cell = {
+            "jobs": jobs,
+            "wall_s": round(wall, 4),
+            "flows": len(result.flows),
+            "shards": metrics.gauge_value("taint.pool.shards") or 0,
+            "snapshot_bytes":
+                metrics.gauge_value("taint.pool.snapshot_bytes") or 0,
+            "snapshot_build_s": round(
+                metrics.gauge_value(
+                    "taint.pool.snapshot_build_seconds") or 0.0, 4),
+            "startup_s": round(
+                metrics.gauge_value(
+                    "taint.pool.startup_seconds") or 0.0, 4),
+            "shard_compute_s": round(
+                shard_timer["total"] if shard_timer else 0.0, 4),
+            "merge_s": round(
+                metrics.gauge_value(
+                    "taint.pool.merge_seconds") or 0.0, 4),
+            "worker_inits":
+                metrics.counter_value("taint.pool.worker_inits") or 0,
+        }
+    cell["_flows"] = flows
+    return cell
+
+
+def run_scale(scale: int, jobs_list: List[int],
+              repeats: int) -> Dict[str, object]:
+    pieces = build_pieces(scale)
+    app = pieces[0]
+    row: Dict[str, object] = {
+        "scale": scale,
+        "source_lines": sum(len(s.splitlines()) for s in app.sources),
+        "rules": len(list(default_rules())),
+        "cells": [],
+    }
+    reference: Optional[List] = None
+    serial_wall: Optional[float] = None
+    for jobs in jobs_list:
+        cell = sweep(pieces, jobs, repeats)
+        keys = [f.sort_key() for f in cell.pop("_flows")]
+        if reference is None:
+            reference = keys
+        elif keys != reference:
+            raise AssertionError(
+                f"scale {scale} jobs={jobs}: parallel sweep diverged "
+                f"from the serial reference")
+        cell["reports_identical"] = True
+        if jobs == 1:
+            serial_wall = cell["wall_s"]
+        if serial_wall:
+            cell["speedup_vs_serial"] = round(
+                serial_wall / cell["wall_s"], 2)
+        row["cells"].append(cell)
+    return row
+
+
+def run_bench(scales: List[int], jobs_list: List[int], repeats: int,
+              quick: bool) -> Dict[str, object]:
+    cores = host_cores()
+    rows = [run_scale(scale, jobs_list, repeats) for scale in scales]
+    return {
+        "cores": cores,
+        "quick": quick,
+        "repeats": repeats,
+        "target_speedup": TARGET_SPEEDUP,
+        "rows": rows,
+    }
+
+
+def format_summary(payload: Dict) -> str:
+    lines = [f"host cores: {payload['cores']}",
+             f"{'scale':>6}{'jobs':>6}{'wall(s)':>9}{'startup':>9}"
+             f"{'compute':>9}{'merge':>7}{'shards':>8}{'snap(KB)':>10}"
+             f"{'speedup':>9}"]
+    for row in payload["rows"]:
+        for cell in row["cells"]:
+            speedup = cell.get("speedup_vs_serial")
+            lines.append(
+                f"{row['scale']:>6}{cell['jobs']:>6}"
+                f"{cell['wall_s']:>9.3f}{cell['startup_s']:>9.3f}"
+                f"{cell['shard_compute_s']:>9.3f}{cell['merge_s']:>7.3f}"
+                f"{cell['shards']:>8}"
+                f"{cell['snapshot_bytes'] / 1024:>10.1f}"
+                f"{'' if speedup is None else f'{speedup:.2f}x':>9}")
+    return "\n".join(lines)
+
+
+def check(payload: Dict) -> int:
+    """The gate: identity always; the speedup bar only where it can
+    physically be met."""
+    cores = payload["cores"]
+    failures = []
+    for row in payload["rows"]:
+        for cell in row["cells"]:
+            if not cell["reports_identical"]:
+                failures.append(f"scale {row['scale']} jobs="
+                                f"{cell['jobs']}: reports diverged")
+            if cell["jobs"] > 1 and cell["shards"]:
+                if cell["worker_inits"] > min(cell["jobs"],
+                                              cell["shards"]):
+                    failures.append(
+                        f"scale {row['scale']} jobs={cell['jobs']}: "
+                        f"{cell['worker_inits']} worker inits for "
+                        f"{cell['jobs']} workers — pool not persistent")
+    if cores >= MIN_CORES_FOR_BAR:
+        for row in payload["rows"]:
+            for cell in row["cells"]:
+                if cell["jobs"] != 4:
+                    continue
+                speedup = cell.get("speedup_vs_serial", 0.0)
+                if speedup < TARGET_SPEEDUP:
+                    failures.append(
+                        f"scale {row['scale']} jobs=4: speedup "
+                        f"{speedup:.2f}x < {TARGET_SPEEDUP:.1f}x "
+                        f"on a {cores}-core host")
+    else:
+        print(f"WARNING: host has {cores} core(s) < "
+              f"{MIN_CORES_FOR_BAR}; the {TARGET_SPEEDUP:.0f}x bar "
+              f"cannot be met by physics — checking byte-identity and "
+              f"pool persistence only")
+    if failures:
+        for failure in failures:
+            print(f"FAIL: {failure}")
+        return 1
+    print("OK: reports byte-identical across every jobs/scale cell"
+          + (f"; >= {TARGET_SPEEDUP:.0f}x at jobs=4"
+             if cores >= MIN_CORES_FOR_BAR else ""))
+    return 0
+
+
+def merge_artifact(path: str, payload: Dict) -> None:
+    """Fold the scaling rows into the solver artifact, keeping the
+    solver suites already recorded there."""
+    existing: Dict = {}
+    target = Path(path)
+    if target.exists():
+        try:
+            existing = json.loads(target.read_text(encoding="utf-8"))
+        except ValueError:
+            existing = {}
+    existing["parallel_scaling"] = payload
+    write_bench_json(path, existing)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Scaling sweep for the parallel taint engine.")
+    parser.add_argument("--scales", type=int, nargs="+", default=SCALES,
+                        help=f"corpus scale factors (default {SCALES})")
+    parser.add_argument("--jobs", type=int, nargs="+", default=JOBS,
+                        help=f"jobs counts to sweep (default {JOBS})")
+    parser.add_argument("--repeats", type=int, default=REPEATS,
+                        help=f"best-of-N timing (default {REPEATS})")
+    parser.add_argument("--quick", action="store_true",
+                        help="one small scale, jobs {1,4}, 1 repeat "
+                             "(CI smoke)")
+    parser.add_argument("--check", action="store_true",
+                        help="fail on divergence, broken pool "
+                             f"persistence, or (on >= "
+                             f"{MIN_CORES_FOR_BAR}-core hosts) "
+                             f"< {TARGET_SPEEDUP:.0f}x at jobs=4")
+    parser.add_argument("--out",
+                        default=str(REPO_ROOT / "BENCH_solver.json"),
+                        help="artifact to merge rows into")
+    args = parser.parse_args(argv)
+    if args.repeats < 1:
+        parser.error("--repeats must be >= 1")
+    if any(s < 1 for s in args.scales) or any(j < 1 for j in args.jobs):
+        parser.error("--scales and --jobs must be >= 1")
+    scales, jobs_list, repeats = args.scales, args.jobs, args.repeats
+    if args.quick:
+        scales, jobs_list, repeats = [10], [1, 4], 1
+
+    payload = run_bench(scales, jobs_list, repeats, args.quick)
+    print(format_summary(payload))
+    merge_artifact(args.out, payload)
+    print(f"\nmerged parallel_scaling into {args.out}")
+
+    if args.check:
+        return check(payload)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -9,9 +9,17 @@ unless the outputs are byte-identical:
   (``"seconds"``, the wall-clock total);
 * exit codes — must match.
 
-This is the determinism half of the parallel sweep's contract
-(``docs/performance.md``); the throughput half lives in
-``bench_solver.py``.  Exit 0 on identical outputs, 1 on any divergence.
+The parallel JSON pass also captures the CLI's ``--metrics`` snapshot
+and prints the pool's per-phase breakdown — startup (snapshot build +
+worker spawn/deserialize) vs shard compute vs merge — next to the
+serial sweep's own compute time.  When the serial sweep is cheaper
+than twice the pool startup, the smoke warns that this workload is too
+small for parallelism to pay (the report-identity checks still run;
+see "When parallelism pays" in ``docs/performance.md``).
+
+This is the determinism half of the parallel sweep's contract; the
+throughput half lives in ``parallel_scaling.py`` / ``bench_solver.py``.
+Exit 0 on identical outputs, 1 on any divergence.
 
     PYTHONPATH=src python benchmarks/parallel_smoke.py [--jobs N]
 """
@@ -48,6 +56,22 @@ def normalize_json(text: str) -> str:
     return json.dumps(payload, indent=2, sort_keys=True)
 
 
+def phase_breakdown(metrics_path: Path):
+    """Pool phase timings from a CLI ``--metrics`` snapshot."""
+    snapshot = json.loads(metrics_path.read_text(encoding="utf-8"))
+    gauges = snapshot.get("gauges", {})
+    timers = snapshot.get("timers", {})
+    shard = timers.get("taint.pool.shard_seconds", {})
+    serial_rules = timers.get("taint.rule_seconds", {})
+    return {
+        "startup_s": gauges.get("taint.pool.startup_seconds", 0.0),
+        "shard_compute_s": shard.get("total", 0.0),
+        "merge_s": gauges.get("taint.pool.merge_seconds", 0.0),
+        "shards": gauges.get("taint.pool.shards", 0),
+        "rule_sweep_s": serial_rules.get("total", 0.0),
+    }
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         description="Assert --jobs N and serial CLI reports are "
@@ -71,14 +95,32 @@ def main(argv=None) -> int:
         if text1 != textN:
             failures.append("text reports differ")
 
-        jcode1, json1 = run_cli(["--json"] + base)
-        jcodeN, jsonN = run_cli(["--json", "--jobs", str(args.jobs)]
-                                + base)
+        serial_metrics = Path(tmp) / "serial-metrics.json"
+        pool_metrics = Path(tmp) / "pool-metrics.json"
+        jcode1, json1 = run_cli(["--json", "--metrics",
+                                 str(serial_metrics)] + base)
+        jcodeN, jsonN = run_cli(["--json", "--jobs", str(args.jobs),
+                                 "--metrics", str(pool_metrics)] + base)
         if jcode1 != jcodeN:
             failures.append(f"json exit codes differ: {jcode1} vs "
                             f"{jcodeN}")
         if normalize_json(json1) != normalize_json(jsonN):
             failures.append("json reports differ (seconds excluded)")
+
+        serial_sweep = phase_breakdown(serial_metrics)["rule_sweep_s"]
+        pool = phase_breakdown(pool_metrics)
+
+    print(f"pool phases (--jobs {args.jobs}, {pool['shards']:.0f} "
+          f"shards): startup {pool['startup_s']:.3f}s, "
+          f"shard compute {pool['shard_compute_s']:.3f}s, "
+          f"merge {pool['merge_s']:.3f}s; "
+          f"serial sweep {serial_sweep:.3f}s")
+    if serial_sweep < 2.0 * pool["startup_s"]:
+        print(f"WARNING: workload too small for parallelism to pay — "
+              f"the serial sweep ({serial_sweep:.3f}s) is under twice "
+              f"the pool startup cost ({pool['startup_s']:.3f}s); "
+              f"determinism checks still apply, wall clock favors "
+              f"--jobs 1 (see docs/performance.md)")
 
     issues = json.loads(json1).get("issues", [])
     if not issues:

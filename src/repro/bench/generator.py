@@ -35,7 +35,7 @@ can match reports by (rule, sink-method) alone.
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional, Tuple
 
 SINK_OF_RULE = {
@@ -93,6 +93,36 @@ class AppSpec:
     lib_methods: int = 6
     uses_struts: bool = False
     uses_ejb: bool = False
+
+    # Fields multiplied by :meth:`scaled` — every planted-pattern count
+    # plus the filler-code class counts (methods-per-class stay fixed:
+    # scaling grows the app *wide*, in entrypoints, not deep).
+    SCALED_FIELDS = (
+        "tp_direct", "tp_string", "tp_map", "tp_heap", "tp_helper",
+        "tp_carrier", "tp_chain", "tp_reflect", "tp_sql", "tp_file",
+        "tp_leak", "tp_deep", "tp_thread", "sanitized", "trap_context",
+        "trap_factory", "trap_xentry", "trap_xentry_long", "trap_logger",
+        "cold_classes", "lib_classes",
+    )
+
+    def scaled(self, factor: int) -> "AppSpec":
+        """This spec with every planted-pattern and filler-class count
+        multiplied by ``factor`` (the ``--scale`` corpus knob).
+
+        The generator spreads flow methods across servlets (~4 per
+        servlet), so a scaled spec grows proportionally many
+        entrypoints — the dimension the parallel taint sweep shards on
+        (``repro.parallel.shards``).  Ground truth scales with it: the
+        oracle stays mechanical at every factor.
+        """
+        if factor < 1:
+            raise ValueError(f"scale factor must be >= 1, got {factor}")
+        if factor == 1:
+            return self
+        changes = {name: getattr(self, name) * factor
+                   for name in self.SCALED_FIELDS}
+        changes["name"] = f"{self.name}-x{factor}"
+        return replace(self, **changes)
 
     def total_tp(self) -> int:
         return (self.tp_direct + self.tp_string + self.tp_map +
@@ -608,3 +638,51 @@ class {servlet} extends HttpServlet {{
 def generate_app(spec: AppSpec) -> GeneratedApp:
     """Generate one application from its spec."""
     return AppGenerator(spec).generate()
+
+
+def scaling_corpus(scale: int, seed: int = 7) -> GeneratedApp:
+    """The parallel-scaling corpus: the default spec at ``scale``×.
+
+    At scale 1 this is a ~3-servlet app; at scale 10 it has ~35
+    entrypoints and at scale 100 ~350 — enough independent seed groups
+    to keep any realistic ``--jobs`` fan-out busy
+    (``benchmarks/parallel_scaling.py``).
+    """
+    return generate_app(AppSpec(name="scaling", seed=seed).scaled(scale))
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """``python -m repro.bench.generator``: emit a scaled corpus."""
+    import argparse
+    import sys
+
+    parser = argparse.ArgumentParser(
+        description="Generate a synthetic web application with ground "
+                    "truth, scaled by --scale.")
+    parser.add_argument("--scale", type=int, default=1, metavar="N",
+                        help="multiply every planted-pattern count by N "
+                             "(10-100 for the parallel-scaling corpus)")
+    parser.add_argument("--seed", type=int, default=7,
+                        help="generator RNG seed (default 7)")
+    parser.add_argument("--out", metavar="FILE",
+                        help="write the jlang corpus here "
+                             "(default: stdout)")
+    args = parser.parse_args(argv)
+    app = scaling_corpus(args.scale, seed=args.seed)
+    source = "\n".join(app.sources)
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            handle.write(source)
+    else:
+        print(source)
+    planted = len(app.planted)
+    tps = sum(1 for p in app.planted if p.is_true_positive)
+    print(f"generated {app.spec.name}: {len(source.splitlines())} lines, "
+          f"{planted} planted patterns ({tps} true positives)",
+          file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    import sys
+    sys.exit(main())

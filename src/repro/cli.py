@@ -95,9 +95,17 @@ def build_parser() -> argparse.ArgumentParser:
                              "degradation ladder on budget/deadline "
                              "trips instead of aborting")
     parser.add_argument("--jobs", type=int, default=1, metavar="N",
-                        help="worker processes for the per-rule taint "
-                             "sweep (default 1 = serial; reports are "
+                        help="worker processes for the taint sweep "
+                             "(default 1 = serial; reports are "
                              "identical for every value)")
+    parser.add_argument("--shard-grain", choices=("auto", "rule",
+                                                  "entrypoint"),
+                        default="auto",
+                        help="parallel shard granularity: 'auto' "
+                             "splits rules per entrypoint seed group "
+                             "when semantics-preserving, 'rule' keeps "
+                             "whole-rule shards, 'entrypoint' forces "
+                             "the fine grain (only with --jobs > 1)")
     return parser
 
 
@@ -165,7 +173,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         config = config.with_resilience(deadline_seconds=args.deadline,
                                         resilient=args.keep_going)
     if args.jobs != 1:
-        config = config.with_jobs(args.jobs)
+        config = config.with_jobs(args.jobs,
+                                  shard_grain=args.shard_grain)
     rules = extended_rules() if args.rules == "extended" \
         else default_rules()
 

@@ -65,11 +65,19 @@ class TAJConfig:
     # Off by default so the paper's CS out-of-memory reproduction (and
     # the strict-frontend contract) are preserved.
     resilient: bool = False
-    # Worker processes for the per-rule taint sweep (``--jobs``).  1 is
-    # the serial reference path; N > 1 fans the sweep over forked
-    # workers sharing the read-only SDG.  Reports are byte-identical
-    # for every value (docs/performance.md).
+    # Worker processes for the taint sweep (``--jobs``).  1 is the
+    # serial reference path; N > 1 runs a persistent worker pool over a
+    # deterministic shard plan (repro.parallel).  Reports are
+    # byte-identical for every value (docs/performance.md).
     jobs: int = 1
+    # Shard grain for the parallel sweep: "auto" splits rules into
+    # per-entrypoint seed groups exactly when that preserves whole-rule
+    # semantics; "rule" forces whole-rule shards; "entrypoint" forces
+    # the fine grain (repro.parallel.shards).
+    shard_grain: str = "auto"
+    # Multiprocessing start method for the pool (None = fork when
+    # available, else spawn); the snapshot protocol supports both.
+    start_method: Optional[str] = None
 
     def with_budget(self, **kwargs) -> "TAJConfig":
         budget = self.budget.copy()
@@ -84,10 +92,13 @@ class TAJConfig:
         return replace(self, deadline_seconds=deadline_seconds,
                        resilient=resilient)
 
-    def with_jobs(self, jobs: int) -> "TAJConfig":
+    def with_jobs(self, jobs: int, shard_grain: str = "auto",
+                  start_method: Optional[str] = None) -> "TAJConfig":
         """This configuration with the taint sweep fanned over ``jobs``
-        worker processes (1 = serial)."""
-        return replace(self, jobs=max(1, jobs))
+        pool workers (1 = serial), optionally pinning the shard grain
+        or the multiprocessing start method."""
+        return replace(self, jobs=max(1, jobs), shard_grain=shard_grain,
+                       start_method=start_method)
 
     # -- the five Table 1 presets ------------------------------------------
 

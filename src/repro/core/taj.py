@@ -194,7 +194,9 @@ class TAJ:
                 engine = TaintEngine(sdg, direct, heap_graph, self.rules,
                                      config.budget,
                                      strategy=config.slicing, obs=obs,
-                                     resilience=armed, jobs=config.jobs)
+                                     resilience=armed, jobs=config.jobs,
+                                     shard_grain=config.shard_grain,
+                                     start_method=config.start_method)
                 taint = engine.run()
                 span.set(flows=len(taint.flows), failed=taint.failed)
         except Exception as exc:

@@ -1,0 +1,28 @@
+"""Persistent-worker parallel infrastructure for the taint sweep.
+
+``repro.parallel`` turns the fork-per-sweep design of the original
+``--jobs`` implementation into a pool that pays its setup cost once:
+
+* :mod:`.shards` — the deterministic shard plan (per-entrypoint seed
+  groups where safe, whole rules where budget semantics forbid
+  splitting);
+* :mod:`.snapshot` — the one-time serialized engine state (interned
+  key table, bitset points-to, SDG) shipped to each worker at startup,
+  under any multiprocessing start method;
+* :mod:`.pool` — the executor wrapper: dynamic dispatch of shard
+  indices, deterministic (shard-ordered) outcome collection.
+
+The taint engine (:mod:`repro.taint.engine`) is the only intended
+consumer; ``docs/performance.md`` ("When parallelism pays") describes
+the architecture and its cost model.
+"""
+
+from .pool import PersistentWorkerPool, pick_start_method
+from .shards import GRAINS, Shard, plan_shards, splittable
+from .snapshot import EngineSnapshot, SnapshotError, WorkerContext
+
+__all__ = [
+    "EngineSnapshot", "GRAINS", "PersistentWorkerPool", "Shard",
+    "SnapshotError", "WorkerContext", "pick_start_method", "plan_shards",
+    "splittable",
+]

@@ -1,0 +1,93 @@
+"""The persistent worker pool behind the parallel taint sweep.
+
+Lifecycle: the parent builds one :class:`~.snapshot.EngineSnapshot`,
+starts ``jobs`` worker processes that each deserialize it exactly once
+(pool initializer), then streams shard indices to the pool one task per
+future — dynamic dispatch, so a giant shard never serializes the run
+behind a static partition.  Completion order is nondeterministic;
+:meth:`PersistentWorkerPool.run_shards` re-orders outcomes by shard
+index before returning, which is what keeps the downstream merge
+deterministic.
+
+Start methods: ``fork`` is preferred (snapshot deserialization against
+an inherited intern table is an identity re-intern), but the snapshot
+protocol is spawn-safe (see :mod:`.snapshot`), so platforms without
+``fork`` — or an explicit ``start_method="spawn"`` — work identically.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import time
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from typing import List, Optional
+
+from .snapshot import EngineSnapshot, WorkerContext
+
+# Per-process cache: each worker deserializes the snapshot once, in its
+# pool initializer, and serves every subsequent shard from it.
+_WORKER_CONTEXT: Optional[WorkerContext] = None
+
+
+def _init_worker(blob: bytes) -> None:
+    global _WORKER_CONTEXT
+    _WORKER_CONTEXT = WorkerContext(blob)
+
+
+def _run_shard(index: int):
+    return _WORKER_CONTEXT.run_shard(index)
+
+
+def pick_start_method(requested: Optional[str] = None) -> str:
+    """``requested`` if given, else fork when available, else spawn."""
+    available = mp.get_all_start_methods()
+    if requested is not None:
+        if requested not in available:
+            raise ValueError(
+                f"start method {requested!r} unavailable "
+                f"(have: {', '.join(available)})")
+        return requested
+    return "fork" if "fork" in available else "spawn"
+
+
+class PersistentWorkerPool:
+    """``jobs`` long-lived workers, one snapshot shipment each."""
+
+    def __init__(self, snapshot: EngineSnapshot, jobs: int,
+                 start_method: Optional[str] = None) -> None:
+        self.snapshot = snapshot
+        self.jobs = jobs
+        self.start_method = pick_start_method(start_method)
+        started = time.perf_counter()
+        self._pool = ProcessPoolExecutor(
+            max_workers=jobs,
+            mp_context=mp.get_context(self.start_method),
+            initializer=_init_worker,
+            initargs=(snapshot.blob,))
+        self.startup_seconds = time.perf_counter() - started
+
+    def run_shards(self, count: int) -> List:
+        """Run shards ``0..count-1``; outcomes return in shard order
+        regardless of completion order.  A worker exception (a fault
+        with no resilience context, mirroring the serial path) is
+        re-raised after the remaining futures are cancelled."""
+        futures = {self._pool.submit(_run_shard, index): index
+                   for index in range(count)}
+        outcomes: List = [None] * count
+        try:
+            for future in as_completed(futures):
+                outcomes[futures[future]] = future.result()
+        except BaseException:
+            for future in futures:
+                future.cancel()
+            raise
+        return outcomes
+
+    def shutdown(self) -> None:
+        self._pool.shutdown(wait=True)
+
+    def __enter__(self) -> "PersistentWorkerPool":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.shutdown()

@@ -1,0 +1,137 @@
+"""One-time serialized engine snapshot for the persistent worker pool.
+
+The parent builds an :class:`EngineSnapshot` once per analysis run: the
+interned instance-key table, the SDG, the direct (store→load) edges,
+the heap graph, the rules, the budget/strategy/resilience
+configuration, and the shard plan — one pickle blob.  Each pool worker
+receives the blob exactly once, at process start, and answers any
+number of shard tasks against the cached state (:class:`WorkerContext`).
+
+Spawn safety: points-to sets are bitset ints whose bit positions are
+dense instance-key IDs assigned at intern time
+(:mod:`repro.pointer.keys`).  The blob therefore pickles the parent's
+instance-key table *first*: unpickling re-interns the keys in table
+order, so a fresh (spawned) process assigns every key the same index —
+and every shipped bitset decodes to the same objects.  In a forked
+process the inherited intern table already matches and re-interning is
+an identity lookup, so one code path serves both start methods.
+"""
+
+from __future__ import annotations
+
+import copy
+import os
+import pickle
+import time
+from typing import List, Optional
+
+from ..pointer import keys as _keys
+
+
+class SnapshotError(TypeError):
+    """The engine's state cannot be serialized for worker shipping
+    (e.g. a foreign solver family or a non-picklable injected clock).
+    The engine falls back to the serial reference path."""
+
+
+class EngineSnapshot:
+    """The picklable one-time shipment: built once, sent to each worker
+    at pool startup."""
+
+    def __init__(self, engine, shards: List,
+                 collect_metrics: bool = False) -> None:
+        started = time.perf_counter()
+        state = {
+            "sdg": engine.sdg,
+            "direct": engine.direct,
+            "heap_graph": engine.heap_graph,
+            "rules": list(engine.rules),
+            "budget": engine.budget,
+            "strategy": engine.strategy,
+            "resilience": engine.resilience,
+            "shards": shards,
+            "collect_metrics": collect_metrics,
+        }
+        try:
+            # The instance-key table rides first so bit positions
+            # reconstruct identically in spawned workers (module doc).
+            self.blob = pickle.dumps(
+                (list(_keys._INSTANCE_KEYS), state),
+                protocol=pickle.HIGHEST_PROTOCOL)
+        except Exception as exc:
+            raise SnapshotError(str(exc)) from exc
+        self.nbytes = len(self.blob)
+        self.build_seconds = time.perf_counter() - started
+
+
+class WorkerContext:
+    """Per-worker cached state: one engine rebuilt from the snapshot,
+    reused for every shard this process is handed."""
+
+    def __init__(self, blob: bytes) -> None:
+        started = time.perf_counter()
+        _table, state = pickle.loads(blob)
+        # Deferred import: repro.taint.engine imports this package
+        # lazily from its parallel path, so the module level here must
+        # not import it back.
+        from ..taint.engine import TaintEngine
+        self.engine = TaintEngine(
+            state["sdg"], state["direct"], state["heap_graph"],
+            state["rules"], state["budget"],
+            strategy=state["strategy"])
+        self.shards = state["shards"]
+        self.collect_metrics = state["collect_metrics"]
+        # The shipped context is the pristine template; every shard
+        # gets a fresh copy so ladder/fault/deadline bookkeeping is a
+        # function of the shard alone, not of which worker ran what
+        # before it — the determinism dynamic dispatch needs.
+        self._resilience_template = state["resilience"]
+        self._rules = state["rules"]
+        self._seed_groups: dict = {}
+        # A CS shard that walks the ladder disables the SDG's heap
+        # channels in-place; remember the snapshot-time setting so the
+        # next shard this worker runs starts from pristine state.
+        self._channels_enabled = getattr(
+            self.engine.sdg, "channels_enabled", None)
+        self.init_seconds = time.perf_counter() - started
+        self._first_shard = True
+
+    def _seeds_for(self, rule_index: int, groups: tuple) -> List:
+        """The rule's seeds restricted to a chunk of containing
+        methods; enumerated once per rule per worker, then cached."""
+        by_method = self._seed_groups.get(rule_index)
+        if by_method is None:
+            from ..slicing.base import enumerate_sources
+            by_method = {}
+            rule = self._rules[rule_index]
+            for seed in enumerate_sources(self.engine.sdg, rule):
+                by_method.setdefault(seed.stmt.ref.method,
+                                     []).append(seed)
+            self._seed_groups[rule_index] = by_method
+        return [seed for method in groups
+                for seed in by_method.get(method, [])]
+
+    def run_shard(self, index: int):
+        shard = self.shards[index]
+        template = self._resilience_template
+        self.engine.resilience = \
+            copy.deepcopy(template) if template is not None else None
+        if self._channels_enabled is not None:
+            self.engine.sdg.channels_enabled = self._channels_enabled
+        seeds = None
+        if shard.groups is not None:
+            seeds = self._seeds_for(shard.rule_index, shard.groups)
+        rule = self._rules[shard.rule_index]
+        outcome = self.engine._slice_shard(shard, rule, seeds,
+                                           self.collect_metrics)
+        shard_res = self.engine.resilience
+        if (shard_res is not None and shard_res.deadline is not None
+                and shard_res.deadline.tripped):
+            # A forced (injected) expiry happened in *this* process; the
+            # parent's clock never saw it, so it rides the outcome home.
+            outcome.deadline_tripped = True
+        outcome.pid = os.getpid()
+        if self._first_shard:
+            outcome.init_seconds = self.init_seconds
+            self._first_shard = False
+        return outcome

@@ -17,7 +17,7 @@ taint pipeline over both kernels.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Set
+from typing import Dict, Iterable, List, Optional, Set
 
 from .keys import FieldKey, InstanceKey, decode_instance_bits
 
@@ -33,38 +33,23 @@ class HeapGraph:
         self._fields_of: Dict[object, List[object]] = {}
         # field key -> bitset of the instance keys it may point to.
         self._pts_bits: Dict[object, int] = {}
+        # Local dense-ID registry for foreign key families; ``None``
+        # marks the interner's global ID space.  Plain attributes (not
+        # closures) so the graph pickles into worker-pool snapshots.
+        self._table: Optional[List[object]] = None
+        self._index: Optional[Dict[object, int]] = None
         iter_bits = getattr(analysis, "iter_pts_bits", None)
         if iter_bits is not None:
             # Optimised solver: points-to sets already are bitsets over
             # the interner's global dense ID space.
-            self._decode = decode_instance_bits
-            self._bit_of = lambda ikey: ikey.bit
             field_types = (FieldKey,)
             items = iter_bits()
         else:
             # Foreign key family (the seed baseline): mint local dense
             # IDs on first sight and encode its plain sets.
-            table: List[object] = []
-            index: Dict[object, int] = {}
-
-            def bit_of(ikey: object) -> int:
-                idx = index.get(ikey)
-                if idx is None:
-                    idx = len(table)
-                    index[ikey] = idx
-                    table.append(ikey)
-                return 1 << idx
-
-            def decode(bits: int) -> List[object]:
-                out: List[object] = []
-                while bits:
-                    low = bits & -bits
-                    out.append(table[low.bit_length() - 1])
-                    bits ^= low
-                return out
-
-            self._decode = decode
-            self._bit_of = bit_of
+            self._table = []
+            self._index = {}
+            bit_of = self._bit_of
             field_types = (FieldKey, seedkeys.FieldKey)
             items = ((key, sum(map(bit_of, pts)))
                      for key, pts in analysis.iter_pts())
@@ -74,6 +59,27 @@ class HeapGraph:
             if isinstance(key, field_types):
                 self._fields_of.setdefault(key.instance, []).append(key)
                 self._pts_bits[key] = self._pts_bits.get(key, 0) | bits
+
+    def _bit_of(self, ikey: object) -> int:
+        if self._table is None:
+            return ikey.bit
+        idx = self._index.get(ikey)
+        if idx is None:
+            idx = len(self._table)
+            self._index[ikey] = idx
+            self._table.append(ikey)
+        return 1 << idx
+
+    def _decode(self, bits: int) -> List[object]:
+        if self._table is None:
+            return decode_instance_bits(bits)
+        table = self._table
+        out: List[object] = []
+        while bits:
+            low = bits & -bits
+            out.append(table[low.bit_length() - 1])
+            bits ^= low
+        return out
 
     def field_keys(self, instance: object) -> List[object]:
         return self._fields_of.get(instance, [])

@@ -32,7 +32,12 @@ Each fact carries small metadata, combined first-wins:
 * ``steps`` — traversed-edge count relative to the region entry (feeds
   the flow-length bound of §6.2.2);
 * ``crossing`` — the last application→library transition statement on
-  the path (feeds LCP computation, §5).
+  the path (feeds LCP computation, §5);
+* ``transitions`` — store→load heap hops on the witness path from the
+  original taint source.  Witness-relative (not a slicer-global
+  counter), so the value recorded on a flow never depends on what else
+  was sliced alongside — a prerequisite for sharding a rule's seeds
+  across workers without perturbing the report.
 
 Per-rule behaviour (sanitizer cuts, sink detection) is injected via a
 :class:`RuleAdapter`, so one engine serves every security rule.
@@ -68,11 +73,13 @@ class Meta:
 
     steps: int = 0
     crossing: Optional[StmtRef] = None
+    transitions: int = 0
 
     def extend(self, steps: int = 1,
                crossing: Optional[StmtRef] = None) -> "Meta":
         return Meta(self.steps + steps,
-                    crossing if crossing is not None else self.crossing)
+                    crossing if crossing is not None else self.crossing,
+                    self.transitions)
 
 
 @dataclass
@@ -269,7 +276,8 @@ class Tabulator:
         crossing = hit.meta.crossing or incoming.crossing_at_call or \
             incoming.parent_meta.crossing
         meta = Meta(incoming.parent_meta.steps + hit.meta.steps + 1,
-                    crossing)
+                    crossing,
+                    incoming.parent_meta.transitions + hit.meta.transitions)
         base_formal, eff_base = hit.base_formal, hit.eff_base
         if hit.kind == "store" and base_formal is not None and \
                 eff_base is None:

@@ -98,7 +98,8 @@ class Slicer:
 
     def __init__(self, sdg: NoHeapSDG, direct: DirectEdges,
                  heap_graph: HeapGraph, budget: Budget,
-                 resilience: Optional[object] = None) -> None:
+                 resilience: Optional[object] = None,
+                 carrier_cache: Optional[Dict] = None) -> None:
         self.sdg = sdg
         self.direct = direct
         self.heap_graph = heap_graph
@@ -111,8 +112,22 @@ class Slicer:
         # Flows dropped by the §6.2.2 flow-length bound, summed over
         # every rule sliced (fed by _collect via each strategy).
         self.suppressed_by_length = 0
+        # Optional rule-name → CarrierIndex cache, shared by the owner
+        # (the taint engine) across slicer instances.  The index is a
+        # whole-SDG scan that depends only on the rule and the nested
+        # depth bound — both fixed per engine — and is read-only after
+        # construction, so reuse across ladder retries and shards is
+        # safe and saves the scan's cost per slice_rule call.
+        self._carrier_cache = carrier_cache
 
-    def slice_rule(self, rule: SecurityRule) -> List[TaintFlow]:
+    def slice_rule(self, rule: SecurityRule,
+                   seeds: Optional[List[SourceSeed]] = None
+                   ) -> List[TaintFlow]:
+        """Slice one rule.  ``seeds`` restricts the traversal to the
+        given source seeds (a shard of the rule's enumeration); ``None``
+        means every seed :func:`enumerate_sources` finds.  Flow records
+        carry only witness-relative metadata, so the union of disjoint
+        seed shards equals the whole-rule slice."""
         raise NotImplementedError
 
     def _collect(self, collector: FlowCollector) -> List[TaintFlow]:
@@ -122,5 +137,13 @@ class Slicer:
         return collector.flows()
 
     def make_carrier_index(self, adapter) -> CarrierIndex:
-        return CarrierIndex(self.sdg, self.direct, self.heap_graph,
-                            adapter, self.budget.max_nested_depth)
+        cache = self._carrier_cache
+        if cache is None:
+            return CarrierIndex(self.sdg, self.direct, self.heap_graph,
+                                adapter, self.budget.max_nested_depth)
+        index = cache.get(adapter.rule.name)
+        if index is None:
+            index = CarrierIndex(self.sdg, self.direct, self.heap_graph,
+                                 adapter, self.budget.max_nested_depth)
+            cache[adapter.rule.name] = index
+        return index

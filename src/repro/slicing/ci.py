@@ -31,11 +31,15 @@ class CISlicer(Slicer):
 
     name = "ci"
 
-    def slice_rule(self, rule: SecurityRule) -> List[TaintFlow]:
+    def slice_rule(self, rule: SecurityRule,
+                   seeds: Optional[List[SourceSeed]] = None
+                   ) -> List[TaintFlow]:
         adapter = RuleAdapter(self.sdg, rule)
         carriers = self.make_carrier_index(adapter)
         collector = FlowCollector(rule, self.budget)
-        for seed in enumerate_sources(self.sdg, rule):
+        if seeds is None:
+            seeds = enumerate_sources(self.sdg, rule)
+        for seed in seeds:
             self._trace(seed, adapter, carriers, collector)
         return self._collect(collector)
 
@@ -59,7 +63,7 @@ class CISlicer(Slicer):
                 collector.add(source, site.stmt, display, 1, None, True)
             for load in self.direct.loads_for_tainted_object(source.method,
                                                              arg):
-                push(Fact(load.stmt.ref.method, load.lhs), Meta(1))
+                push(Fact(load.stmt.ref.method, load.lhs), Meta(1, None, 1))
 
         resilience = self.resilience
         while work:
@@ -85,7 +89,9 @@ class CISlicer(Slicer):
                 for site, display in carriers.sinks_for_store(store):
                     collector.add(source, site.stmt, display,
                                   hit_meta.steps + 1, hit_meta.crossing,
-                                  True, heap_transitions)
+                                  True, hit_meta.transitions)
+                # The local counter only feeds the §6.2.1 budget; flows
+                # record the witness-relative ``Meta.transitions``.
                 limit = self.budget.max_heap_transitions
                 if limit is not None and heap_transitions >= limit:
                     self.truncated = True
@@ -99,7 +105,8 @@ class CISlicer(Slicer):
                             not load.stmt.in_application:
                         crossing = store.stmt.ref
                     push(Fact(load.stmt.ref.method, load.lhs),
-                         Meta(hit_meta.steps + 1, crossing))
+                         Meta(hit_meta.steps + 1, crossing,
+                              hit_meta.transitions + 1))
             for site, positions in self.sdg.calls_using(method, var):
                 vulnerable, sanitizer, sink_display = adapter.classify(site)
                 if sink_display is not None:
@@ -107,7 +114,7 @@ class CISlicer(Slicer):
                             p in vulnerable for p in positions if p >= 0):
                         collector.add(source, site.stmt, sink_display,
                                       meta.steps + 1, meta.crossing, False,
-                                      heap_transitions)
+                                      meta.transitions)
                 if sanitizer or sink_display is not None:
                     continue
                 descended = False

@@ -40,7 +40,7 @@ from ..sdg.noheap import ANY_FIELD, CallSite, LocalEdge, NoHeapSDG
 from ..sdg.tabulation import Hit, Meta, RuleAdapter, Tabulator
 from ..taint.flows import TaintFlow
 from ..taint.rules import SecurityRule
-from .base import FlowCollector, Slicer, enumerate_sources
+from .base import FlowCollector, Slicer, SourceSeed, enumerate_sources
 
 
 def _static_channel(fld: str) -> str:
@@ -173,7 +173,9 @@ class CSSlicer(Slicer):
         super().__init__(*args, **kwargs)
         self.meter = meter
 
-    def slice_rule(self, rule: SecurityRule) -> List[TaintFlow]:
+    def slice_rule(self, rule: SecurityRule,
+                   seeds: Optional[List["SourceSeed"]] = None
+                   ) -> List[TaintFlow]:
         adapter = RuleAdapter(self.sdg, rule)
         carriers = self.make_carrier_index(adapter)
         collector = FlowCollector(rule, self.budget)
@@ -183,19 +185,22 @@ class CSSlicer(Slicer):
             source = sources[origin_id]
             if hit.kind == "sink":
                 collector.add(source, hit.stmt, hit.sink_display,
-                              hit.meta.steps, hit.meta.crossing, False)
+                              hit.meta.steps, hit.meta.crossing, False,
+                              hit.meta.transitions)
             elif hit.kind == "store":
                 # Carrier edges only: heap value flow rides the channels.
                 for site, display in carriers.sinks_for_store(
                         hit.store, hit.eff_base):
                     collector.add(source, site.stmt, display,
                                   hit.meta.steps + 1, hit.meta.crossing,
-                                  True)
+                                  True, hit.meta.transitions)
 
         tab = Tabulator(self.sdg, adapter, on_hit, meter=self.meter,
                         skip_thread_edges=True,
                         resilience=self.resilience)
-        for seed in enumerate_sources(self.sdg, rule):
+        if seeds is None:
+            seeds = enumerate_sources(self.sdg, rule)
+        for seed in seeds:
             sources[seed.origin_id] = seed.stmt.ref
             if seed.call_lhs:
                 tab.seed_origin(seed.origin_id, seed.stmt.ref.method,

@@ -42,7 +42,9 @@ class HybridSlicer(Slicer):
 
     # -- per-rule state (reset in slice_rule) --------------------------------
 
-    def slice_rule(self, rule: SecurityRule) -> List[TaintFlow]:
+    def slice_rule(self, rule: SecurityRule,
+                   seeds: Optional[List[SourceSeed]] = None
+                   ) -> List[TaintFlow]:
         adapter = RuleAdapter(self.sdg, rule)
         carriers = self.make_carrier_index(adapter)
         collector = FlowCollector(rule, self.budget)
@@ -54,7 +56,8 @@ class HybridSlicer(Slicer):
             source = sources[origin_id]
             if hit.kind == "sink":
                 collector.add(source, hit.stmt, hit.sink_display,
-                              hit.meta.steps, hit.meta.crossing, False)
+                              hit.meta.steps, hit.meta.crossing, False,
+                              hit.meta.transitions)
             elif hit.kind == "store":
                 self._expand_store(tab, origin_id, hit, carriers,
                                    collector, sources, seeded_loads)
@@ -62,7 +65,9 @@ class HybridSlicer(Slicer):
         tab = Tabulator(self.sdg, adapter, on_hit, meter=self.meter,
                         skip_thread_edges=self.skip_thread_edges,
                         resilience=self.resilience)
-        for seed in enumerate_sources(self.sdg, rule):
+        if seeds is None:
+            seeds = enumerate_sources(self.sdg, rule)
+        for seed in seeds:
             sources[seed.origin_id] = seed.stmt.ref
             if seed.call_lhs:
                 tab.seed_origin(seed.origin_id, seed.stmt.ref.method,
@@ -93,8 +98,10 @@ class HybridSlicer(Slicer):
         for site, display in carriers.sinks_for_store(store, hit.eff_base):
             collector.add(source, site.stmt, display,
                           hit.meta.steps + 1, hit.meta.crossing, True,
-                          self.heap_transitions)
-        # Direct store→load edges.
+                          hit.meta.transitions)
+        # Direct store→load edges.  ``self.heap_transitions`` stays a
+        # slicer-global counter for the §6.2.1 budget; the value recorded
+        # on flows is the witness-relative ``Meta.transitions``.
         if not self._budget_left():
             return
         loads = self.direct.loads_for_store(store, hit.eff_base)
@@ -109,7 +116,8 @@ class HybridSlicer(Slicer):
             if store.stmt.in_application and not load.stmt.in_application:
                 crossing = store.stmt.ref
             tab.seed_origin(origin_id, load.stmt.ref.method, load.lhs,
-                            Meta(hit.meta.steps + 1, crossing))
+                            Meta(hit.meta.steps + 1, crossing,
+                                 hit.meta.transitions + 1))
 
     def _seed_ref_source(self, tab: Tabulator, seed: SourceSeed, arg: str,
                          carriers, collector: FlowCollector,
@@ -132,4 +140,4 @@ class HybridSlicer(Slicer):
             if seed.stmt.in_application and not load.stmt.in_application:
                 crossing = seed.stmt.ref
             tab.seed_origin(seed.origin_id, load.stmt.ref.method,
-                            load.lhs, Meta(1, crossing))
+                            load.lhs, Meta(1, crossing, 1))

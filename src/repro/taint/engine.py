@@ -13,27 +13,29 @@ ladder disabled) a budget trip is the paper's CS out-of-memory failure:
 the run is marked failed — but flows from rules that completed are still
 reported, never wiped.
 
-Parallel sweep (``jobs > 1``): the per-rule sweep is embarrassingly
-parallel — each rule slices the same read-only SDG — so it fans out over
-a fork-based :class:`~concurrent.futures.ProcessPoolExecutor`.  Workers
-inherit the SDG, direct edges, and heap graph through fork (nothing is
-pickled on the way in); each worker slices one rule, walks its *own*
-rung of the ladder on a budget/deadline trip (a tripped worker degrades
-that rule, not the run), and ships back a picklable
-:class:`_RuleOutcome` — flows, degradations, diagnostics, a metrics
-registry, and span timings — which the parent merges **in rule order**,
-so the merged result does not depend on worker scheduling.  ``jobs=1``
-is the unmodified serial reference path.  Either way the engine's flows
-leave in :func:`~repro.taint.flows.canonical_flows` order, which is what
+Parallel sweep (``jobs > 1``): the sweep fans out over a **persistent
+worker pool** (:mod:`repro.parallel`).  The engine plans a deterministic
+shard list — per-(rule × entrypoint seed group) where splitting is
+semantics-preserving, whole rules where a shared budget forbids it
+(:func:`repro.parallel.shards.plan_shards`) — ships one serialized
+engine snapshot to each worker at pool startup (any start method; see
+:mod:`repro.parallel.snapshot`), then streams shard indices with
+dynamic dispatch.  Each shard walks its *own* rung of the degradation
+ladder against a fresh copy of the resilience context (a tripped shard
+degrades that shard, not the run, and the behaviour is a function of
+the shard — never of worker scheduling), and ships back a picklable
+:class:`ShardOutcome`.  The parent collects outcomes **in shard order**
+and folds them per rule, so the merged spans, metrics, degradations,
+and flows do not depend on completion order.  ``jobs=1`` is the
+unmodified serial reference path.  Either way the engine's flows leave
+in :func:`~repro.taint.flows.canonical_flows` order, which is what
 makes ``--jobs N`` and serial runs byte-identical
 (``docs/performance.md``).
 """
 
 from __future__ import annotations
 
-import multiprocessing as mp
 import time
-from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
@@ -86,14 +88,17 @@ class TaintResult:
 
 
 @dataclass
-class _RuleOutcome:
-    """One worker's verdict on one rule — everything the parent needs
+class ShardOutcome:
+    """One worker's verdict on one shard — everything the parent needs
     to reconstruct what the serial sweep would have recorded.  Crosses
     the process boundary by pickle; interned keys re-intern on the way
     (``pointer.keys.__reduce__``)."""
 
-    index: int
+    index: int                        # shard index: the merge order
+    rule_index: int
     rule: str
+    # Seed-group chunk (containing-method names), None = whole rule.
+    groups: Optional[Tuple[str, ...]] = None
     flows: List[TaintFlow] = field(default_factory=list)
     completed: bool = False
     failed: bool = False
@@ -107,31 +112,34 @@ class _RuleOutcome:
     started: float = 0.0
     duration: float = 0.0
     metrics: Optional[MetricsRegistry] = None
-
-
-# Fork-shared worker state: the parent parks the engine here right
-# before the pool forks, so children reach the SDG through inherited
-# memory instead of pickling it per task.
-_WORKER_ENGINE: Optional["TaintEngine"] = None
-
-
-def _worker_slice(index: int) -> _RuleOutcome:
-    return _WORKER_ENGINE._slice_one(index)
+    # Pool bookkeeping: which worker process ran the shard, and the
+    # one-time snapshot-deserialization cost if this was that worker's
+    # first shard (0.0 on every later shard — the persistence signal).
+    pid: int = 0
+    init_seconds: float = 0.0
+    # A forced (injected) deadline expiry happened in the worker; the
+    # parent replays it into its own deadline at merge time so the
+    # phases downstream of the sweep behave exactly as under serial.
+    deadline_tripped: bool = False
 
 
 def make_slicer(strategy: str, sdg: NoHeapSDG, direct: DirectEdges,
                 heap_graph: HeapGraph, budget: Budget,
                 meter: Optional[StateMeter] = None,
-                resilience: Optional[object] = None) -> Slicer:
+                resilience: Optional[object] = None,
+                carrier_cache: Optional[Dict] = None) -> Slicer:
     if strategy == "hybrid":
         return HybridSlicer(sdg, direct, heap_graph, budget, meter=meter,
-                            resilience=resilience)
+                            resilience=resilience,
+                            carrier_cache=carrier_cache)
     if strategy == "cs":
         return CSSlicer(sdg, direct, heap_graph, budget, meter=meter,
-                        resilience=resilience)
+                        resilience=resilience,
+                        carrier_cache=carrier_cache)
     if strategy == "ci":
         return CISlicer(sdg, direct, heap_graph, budget,
-                        resilience=resilience)
+                        resilience=resilience,
+                        carrier_cache=carrier_cache)
     raise ValueError(f"unknown slicing strategy {strategy!r}")
 
 
@@ -142,7 +150,9 @@ class TaintEngine:
                  heap_graph: HeapGraph, rules: RuleSet, budget: Budget,
                  strategy: str = "hybrid", obs: Optional[object] = None,
                  resilience: Optional[object] = None,
-                 jobs: int = 1) -> None:
+                 jobs: int = 1, shard_grain: str = "auto",
+                 start_method: Optional[str] = None,
+                 shards_per_rule: Optional[int] = None) -> None:
         self.sdg = sdg
         self.direct = direct
         self.heap_graph = heap_graph
@@ -152,7 +162,21 @@ class TaintEngine:
         self.obs = DISABLED if obs is None else obs
         self.resilience = resilience
         self.jobs = max(1, jobs)
+        # Parallel knobs (ignored when jobs == 1): the shard grain
+        # ("auto" | "rule" | "entrypoint", see repro.parallel.shards)
+        # and the multiprocessing start method (None = fork if
+        # available, else spawn).
+        self.shard_grain = shard_grain
+        self.start_method = start_method
+        # Fine-grain chunk bound override (None = the plan default);
+        # reports are identical for every value.
+        self.shards_per_rule = shards_per_rule
         self._rule_list: List = []
+        # Rule-name → CarrierIndex, shared across every slicer this
+        # engine creates: the index is a whole-SDG scan, fixed per
+        # (rule, nested-depth bound), and a persistent worker would
+        # otherwise rebuild it for each of a rule's shards.
+        self._carrier_cache: Dict = {}
 
     # -- strategy construction -----------------------------------------------
 
@@ -160,7 +184,8 @@ class TaintEngine:
               meter: Optional[StateMeter]) -> Slicer:
         slicer = make_slicer(strategy, self.sdg, self.direct,
                              self.heap_graph, self.budget, meter,
-                             resilience=self.resilience)
+                             resilience=self.resilience,
+                             carrier_cache=self._carrier_cache)
         modref = getattr(self.sdg, "modref", None)
         if strategy == "cs" and meter is not None and modref is not None:
             # CS thin slicing threads heap dependencies as additional
@@ -174,7 +199,7 @@ class TaintEngine:
         """One step of the degradation ladder, or abort the sweep.
 
         ``result`` is the record being built — the serial sweep's
-        :class:`TaintResult` or a worker's :class:`_RuleOutcome` (both
+        :class:`TaintResult` or a worker's :class:`ShardOutcome` (both
         carry ``degradations`` / ``failed`` / ``failure``).  Returns
         ``(strategy, slicer)``; a ``None`` slicer means the sweep (or
         the worker's rule) stops — flows collected so far are kept.
@@ -208,8 +233,7 @@ class TaintEngine:
 
     def run(self) -> TaintResult:
         rules = self._rule_list = list(self.rules)
-        if self.jobs > 1 and len(rules) > 1 \
-                and "fork" in mp.get_all_start_methods():
+        if self.jobs > 1 and rules:
             result = self._run_parallel(rules)
         else:
             result = self._run_serial(rules)
@@ -289,17 +313,19 @@ class TaintEngine:
 
     # -- parallel sweep --------------------------------------------------------
 
-    def _slice_one(self, index: int) -> _RuleOutcome:
-        """Worker body: slice one rule behind its own degradation
-        ladder.  Runs in a forked child; every mutation it makes (its
-        resilience context, a CS SDG's disabled channels) is invisible
-        to the parent, so everything the parent must know rides home on
-        the returned outcome."""
-        rule = self._rule_list[index]
+    def _slice_shard(self, shard, rule, seeds: Optional[List] = None,
+                     collect_metrics: bool = False) -> ShardOutcome:
+        """Worker body: slice one shard behind its own degradation
+        ladder.  Runs inside a pool worker against the snapshot-built
+        engine; every mutation it makes (its resilience copy, a CS
+        SDG's disabled channels) is reset by the worker context before
+        the next shard, so everything the parent must know rides home
+        on the returned outcome."""
         res = self.resilience
-        out = _RuleOutcome(index=index, rule=rule.name,
+        out = ShardOutcome(index=shard.index, rule_index=shard.rule_index,
+                           rule=rule.name, groups=shard.groups,
                            final_strategy=self.strategy)
-        if self.obs.metrics.enabled:
+        if collect_metrics:
             out.metrics = MetricsRegistry()
         strategy = self.strategy
         meter = StateMeter(self.budget.max_state_units)
@@ -312,12 +338,12 @@ class TaintEngine:
             try:
                 if res is not None:
                     res.check(f"slicing.{strategy}", phase="taint")
-                flows = slicer.slice_rule(rule)
+                flows = slicer.slice_rule(rule, seeds=seeds)
             except (BudgetExhausted, DeadlineExceeded) as exc:
                 out.truncated = out.truncated or slicer.truncated
                 out.suppressed_by_length += slicer.suppressed_by_length
                 strategy, slicer = self._recover(out, strategy, exc)
-                continue  # same rule, cheaper rung
+                continue  # same shard, cheaper rung
             except Exception as exc:
                 if res is None or not res.active:
                     raise
@@ -335,31 +361,76 @@ class TaintEngine:
         out.state_units = meter.used
         out.final_strategy = strategy
         if out.metrics is not None:
-            out.metrics.record_time("taint.rule_seconds", out.duration)
-            out.metrics.record_value("taint.rule_flows", len(out.flows))
+            out.metrics.record_time("taint.pool.shard_seconds",
+                                    out.duration)
         return out
 
     def _run_parallel(self, rules: List) -> TaintResult:
-        global _WORKER_ENGINE
-        jobs = min(self.jobs, len(rules))
-        ctx = mp.get_context("fork")
-        _WORKER_ENGINE = self
+        from ..parallel import (EngineSnapshot, PersistentWorkerPool,
+                                SnapshotError, plan_shards)
+        obs = self.obs
+        tracer = obs.tracer
+        plan_kwargs = {}
+        if self.shards_per_rule is not None:
+            plan_kwargs["max_shards_per_rule"] = self.shards_per_rule
+        shards = plan_shards(self.sdg, rules, self.strategy, self.budget,
+                             self.shard_grain, **plan_kwargs)
+        if len(shards) < 2:
+            # Nothing to distribute; the pool would be pure overhead.
+            return self._run_serial(rules)
+        jobs = min(self.jobs, len(shards))
+        start_span = tracer.span("taint.pool.start", jobs=jobs,
+                                 shards=len(shards))
         try:
-            with ProcessPoolExecutor(max_workers=jobs,
-                                     mp_context=ctx) as pool:
-                outcomes = list(pool.map(_worker_slice,
-                                         range(len(rules))))
+            # One-time cost, paid once per run: snapshot serialization
+            # plus worker startup.  Every shard after this reuses the
+            # same workers and the same shipped state.
+            with start_span as span:
+                snapshot = EngineSnapshot(
+                    self, shards, collect_metrics=obs.metrics.enabled)
+                pool = PersistentWorkerPool(snapshot, jobs,
+                                            self.start_method)
+                span.set(start_method=pool.start_method,
+                         snapshot_bytes=snapshot.nbytes)
+        except SnapshotError:
+            # Unshippable state (foreign solver family, injected
+            # clock): the serial reference path always works.  The
+            # aborted span keeps its auto-recorded ``error`` attr.
+            start_span.set(fallback="serial")
+            return self._run_serial(rules)
+        try:
+            outcomes = pool.run_shards(len(shards))
         finally:
-            _WORKER_ENGINE = None
-        return self._merge_outcomes(rules, outcomes, jobs)
+            pool.shutdown()
+        merge_started = time.perf_counter()
+        result = self._merge_outcomes(rules, outcomes)
+        metrics = obs.metrics
+        metrics.gauge("taint.parallel_jobs", jobs)
+        metrics.gauge("taint.pool.workers", jobs)
+        metrics.gauge("taint.pool.shards", len(shards))
+        metrics.gauge("taint.pool.snapshot_bytes", snapshot.nbytes)
+        metrics.gauge("taint.pool.snapshot_build_seconds",
+                      snapshot.build_seconds)
+        metrics.gauge("taint.pool.startup_seconds",
+                      snapshot.build_seconds + pool.startup_seconds)
+        metrics.inc("taint.pool.worker_inits",
+                    sum(1 for out in outcomes if out.init_seconds > 0))
+        metrics.gauge("taint.pool.merge_seconds",
+                      time.perf_counter() - merge_started)
+        return result
 
-    def _merge_outcomes(self, rules: List, outcomes: List[_RuleOutcome],
-                        jobs: int) -> TaintResult:
-        """Fold worker outcomes into one :class:`TaintResult`, in rule
-        order — worker scheduling never reaches the result.
+    def _merge_outcomes(self, rules: List,
+                        outcomes: List[ShardOutcome]) -> TaintResult:
+        """Fold shard outcomes into one :class:`TaintResult`.
 
-        Failure semantics mirror the serial sweep: the first rule whose
-        worker hard-failed (budget trip, no rung left) marks the run
+        ``outcomes`` arrives in shard order (the pool re-sorts after
+        dynamic dispatch), and shards are planned rule-major, so the
+        fold is per rule, in rule order — completion order never
+        reaches the result, the metrics registry, or the resilience
+        context.
+
+        Failure semantics mirror the serial sweep: the first rule with
+        a hard-failed shard (budget trip, no rung left) marks the run
         failed, and flows from later rules are dropped — serial would
         never have sliced them.  Their spans and metrics are still
         merged (the work happened), but their resilience records are
@@ -372,42 +443,70 @@ class TaintEngine:
         result = TaintResult()
         result.final_strategy = self.strategy
         final_rank = _STRATEGY_RANK.get(self.strategy, 1)
+        by_rule: Dict[int, List[ShardOutcome]] = {}
         for out in outcomes:
+            by_rule.setdefault(out.rule_index, []).append(out)
+        for rule_index, rule in enumerate(rules):
+            outs = by_rule.get(rule_index, [])
+            if not outs:
+                continue
+            # One pre-timed span and one timing observation per rule —
+            # the serial sweep's shape — aggregated over the rule's
+            # shards: earliest start, summed busy time.
+            started = min(out.started for out in outs)
+            duration = sum(out.duration for out in outs)
+            rule_rank = max(_STRATEGY_RANK.get(out.final_strategy, 1)
+                            for out in outs)
+            rule_strategy = next(
+                (out.final_strategy for out in outs
+                 if _STRATEGY_RANK.get(out.final_strategy, 1) == rule_rank),
+                self.strategy)
+            # Within a rule the serial collector emits sort-key order;
+            # concatenated shard flows are re-sorted to match.
+            flows = [flow for out in outs for flow in out.flows]
+            flows.sort(key=TaintFlow.sort_key)
             tracer.add_completed(
-                "taint.rule", out.started, out.duration,
-                {"rule": out.rule, "strategy": out.final_strategy,
-                 "flows": len(out.flows), "parallel": True})
-            if out.metrics is not None:
-                obs.metrics.merge(out.metrics)
+                "taint.rule", started, duration,
+                {"rule": rule.name, "strategy": rule_strategy,
+                 "flows": len(flows), "parallel": True,
+                 "shards": len(outs)})
+            for out in outs:
+                if out.metrics is not None:
+                    obs.metrics.merge(out.metrics)
+            obs.metrics.record_time("taint.rule_seconds", duration)
+            obs.metrics.record_value("taint.rule_flows", len(flows))
             if result.failed:
                 continue
-            if res is not None:
-                # Replay the worker's resilience record: the child's
-                # context mutations died with the fork.
-                res.absorb_child(out.degradations, out.diagnostics)
-            result.degradations.extend(out.degradations)
-            result.truncated = result.truncated or out.truncated
-            result.suppressed_by_length += out.suppressed_by_length
-            # Per-worker meters are independent; the sweep's abstract
+            for out in outs:
+                if res is not None:
+                    # Replay the shard's resilience record: the
+                    # worker-side context copy died with the shard.
+                    res.absorb_child(out.degradations, out.diagnostics)
+                    if out.deadline_tripped and res.deadline is not None:
+                        res.deadline.trip()
+                result.degradations.extend(out.degradations)
+                result.truncated = result.truncated or out.truncated
+                result.suppressed_by_length += out.suppressed_by_length
+            # Per-shard meters are independent; the sweep's abstract
             # memory high-water mark is the worst single rule.
-            result.state_units = max(result.state_units, out.state_units)
-            rank = _STRATEGY_RANK.get(out.final_strategy, 1)
-            if rank > final_rank:
-                final_rank = rank
-                result.final_strategy = out.final_strategy
-            if out.failed:
+            result.state_units = max(
+                result.state_units,
+                sum(out.state_units for out in outs))
+            if rule_rank > final_rank:
+                final_rank = rule_rank
+                result.final_strategy = rule_strategy
+            failed = next((out for out in outs if out.failed), None)
+            if failed is not None:
                 result.failed = True
-                result.failure = out.failure
+                result.failure = failed.failure
                 continue
-            if not out.completed:
+            if not all(out.completed for out in outs):
                 continue
             if audit.enabled:
-                rule = rules[out.index]
                 seeds = len(enumerate_sources(self.sdg, rule))
-                audit.record_rule(rule, seeds, len(out.flows))
-                for flow in out.flows:
+                audit.record_rule(rule, seeds, len(flows))
+                for flow in flows:
                     audit.record_flow(flow, rule, seeds)
-            result.flows.extend(out.flows)
-            result.completed_rules.append(out.rule)
-        obs.metrics.gauge("taint.parallel_jobs", jobs)
+            result.flows.extend(flows)
+            result.completed_rules.append(rule.name)
         return result

@@ -1,0 +1,124 @@
+"""Shard-granularity invariance: serial, every jobs count, every grain,
+and every chunk size must produce the identical report — including when
+the degradation ladder trips or a deadline expires mid-pool."""
+
+import pytest
+
+from repro.bench.generator import scaling_corpus
+from repro.bounds import Budget
+from repro.core import TAJ, TAJConfig
+from repro.modeling import prepare, default_natives
+from repro.pointer import ContextPolicy, PointerAnalysis
+from repro.pointer.heapgraph import HeapGraph
+from repro.resilience import Fault, FaultPlan
+from repro.sdg.hsdg import DirectEdges
+from repro.sdg.noheap import NoHeapSDG
+from repro.taint import TaintEngine, default_rules
+
+
+@pytest.fixture(scope="module")
+def pieces():
+    # The scale-2 generator corpus: ~7 servlets, enough seed groups for
+    # the fine grain to produce a multi-shard plan per rule.
+    app = scaling_corpus(2)
+    prepared = prepare(app.sources)
+    analysis = PointerAnalysis(prepared.program, ContextPolicy(),
+                               natives=default_natives())
+    analysis.solve()
+    sdg = NoHeapSDG(prepared.program, analysis.call_graph)
+    return sdg, DirectEdges(sdg, analysis), HeapGraph(analysis)
+
+
+def _sweep(pieces, budget=None, **kwargs):
+    sdg, direct, heap = pieces
+    engine = TaintEngine(sdg, direct, heap, default_rules(),
+                         budget or Budget(), **kwargs)
+    return engine.run()
+
+
+def _canon(result):
+    return ([f.sort_key() for f in result.flows], result.completed_rules,
+            result.final_strategy, result.failed, result.truncated,
+            result.suppressed_by_length)
+
+
+def test_grains_and_chunk_sizes_match_serial(pieces):
+    reference = _canon(_sweep(pieces))
+    for kwargs in ({"jobs": 2}, {"jobs": 4},
+                   {"jobs": 2, "shard_grain": "rule"},
+                   {"jobs": 2, "shard_grain": "entrypoint"},
+                   {"jobs": 2, "shards_per_rule": 1},
+                   {"jobs": 2, "shards_per_rule": 3},
+                   {"jobs": 4, "shards_per_rule": 100}):
+        assert _canon(_sweep(pieces, **kwargs)) == reference, kwargs
+
+
+def test_bounded_budget_matches_serial_across_grains(pieces):
+    # Witness-relative bounds (flow length) keep the fine grain legal;
+    # the suppression counts must survive sharding too.
+    budget = Budget(max_flow_length=12)
+    reference = _canon(_sweep(pieces, budget=budget))
+    for kwargs in ({"jobs": 2}, {"jobs": 2, "shards_per_rule": 3},
+                   {"jobs": 2, "shard_grain": "rule"}):
+        got = _canon(_sweep(pieces, budget=Budget(max_flow_length=12),
+                            **kwargs))
+        assert got == reference, kwargs
+
+
+def test_slicer_global_budget_auto_coarsens(pieces):
+    # An armed heap-transition budget forbids seed splitting; "auto"
+    # must fall back to whole-rule shards and still match serial.
+    budget = Budget(max_heap_transitions=3)
+    reference = _canon(_sweep(pieces, budget=budget))
+    got = _canon(_sweep(pieces, budget=Budget(max_heap_transitions=3),
+                        jobs=4))
+    assert got == reference
+
+
+APP_SOURCES = scaling_corpus(2).sources
+
+
+def _pipeline_report(config):
+    result = TAJ(config).analyze_sources(APP_SOURCES)
+    return (sorted((i.rule, i.source, i.sink)
+                   for i in result.report.issues),
+            result.completeness, result.failed)
+
+
+def test_ladder_trip_is_jobs_invariant():
+    """A CS budget trip mid-sweep walks the ladder identically under
+    serial, jobs=2, and jobs=4 (whole-rule shards: cs is unsplittable)."""
+    def config(jobs):
+        cfg = TAJConfig.cs(max_state_units=5).with_resilience(
+            resilient=True)
+        return cfg.with_jobs(jobs) if jobs > 1 else cfg
+
+    serial = _pipeline_report(config(1))
+    assert serial[1] == "partial-budget"
+    for jobs in (2, 4):
+        assert _pipeline_report(config(jobs)) == serial
+
+
+def test_mid_pool_deadline_is_deterministic():
+    """A deadline tripped inside the sweep (injected, so it fires
+    deterministically) yields the same partial report at every jobs
+    count: the deadline rides the snapshot into each shard's fresh
+    resilience copy."""
+    def run(jobs):
+        cfg = TAJConfig.hybrid_unbounded().with_resilience(
+            deadline_seconds=3600.0, resilient=True)
+        if jobs > 1:
+            cfg = cfg.with_jobs(jobs)
+        fault = Fault("slicing.hybrid", action="trip-deadline")
+        result = TAJ(cfg, faults=FaultPlan.of(fault)).analyze_sources(
+            APP_SOURCES)
+        issues = (sorted((i.rule, i.source, i.sink)
+                         for i in result.report.issues)
+                  if result.report is not None else None)
+        return issues, result.completeness, result.failed
+
+    serial = run(1)
+    assert not serial[2], "a deadline abort is partial, not failed"
+    assert serial[1].startswith("partial"), serial[1]
+    for jobs in (2, 4):
+        assert run(jobs) == serial

@@ -1,0 +1,105 @@
+"""Out-of-order shard completion must never reach the merged record:
+metrics, degradations, and diagnostics are folded in shard order."""
+
+import pytest
+
+from repro.bounds import Budget
+from repro.core import TAJ, TAJConfig
+from repro.modeling import prepare, default_natives
+from repro.obs import Observability
+from repro.obs.metrics import MetricsRegistry
+from repro.pointer import ContextPolicy, PointerAnalysis
+from repro.pointer.heapgraph import HeapGraph
+from repro.sdg.hsdg import DirectEdges
+from repro.sdg.noheap import NoHeapSDG
+from repro.taint import TaintEngine, default_rules
+
+APP = """
+class M0 extends HttpServlet {
+  void doGet(HttpServletRequest req, HttpServletResponse resp) {
+    resp.getWriter().println(req.getParameter("a"));
+  }
+}
+class M1 extends HttpServlet {
+  void doGet(HttpServletRequest req, HttpServletResponse resp) {
+    resp.getWriter().println(req.getParameter("b"));
+    Connection c = DriverManager.getConnection("db");
+    c.createStatement().executeQuery("q" + req.getParameter("u"));
+  }
+}
+"""
+
+
+@pytest.fixture(scope="module")
+def pieces():
+    prepared = prepare([APP])
+    analysis = PointerAnalysis(prepared.program, ContextPolicy(),
+                               natives=default_natives())
+    analysis.solve()
+    sdg = NoHeapSDG(prepared.program, analysis.call_graph)
+    return sdg, DirectEdges(sdg, analysis), HeapGraph(analysis)
+
+
+def test_metrics_merge_in_fixed_order_is_deterministic():
+    """The parent merges worker registries in shard order; repeated
+    merges of the same sequence must agree bit-for-bit (float summation
+    order is part of the contract)."""
+    def children():
+        out = []
+        for value in (0.1, 0.2, 0.3, 1e-9, 1e9):
+            child = MetricsRegistry()
+            child.inc("x", value)
+            child.record_time("t", value)
+            child.record_value("v", value)
+            out.append(child)
+        return out
+
+    def merged():
+        parent = MetricsRegistry()
+        for child in children():
+            parent.merge(child)
+        return parent.snapshot()
+
+    assert merged() == merged()
+
+
+def test_repeated_parallel_runs_merge_identically(pieces):
+    """Dynamic dispatch randomizes completion order across runs; the
+    merged counters and spans must not notice."""
+    sdg, direct, heap = pieces
+
+    def run():
+        obs = Observability()
+        engine = TaintEngine(sdg, direct, heap, default_rules(),
+                             Budget(), jobs=2, obs=obs)
+        result = engine.run()
+        counters = {name: value
+                    for name, value in
+                    obs.metrics.snapshot()["counters"].items()
+                    # Worker-init attribution depends on which worker
+                    # won each task — everything else must be stable.
+                    if name != "taint.pool.worker_inits"}
+        spans = [(s.name, s.attrs.get("rule"), s.attrs.get("flows"))
+                 for s in obs.tracer.find("taint.rule")]
+        return ([f.sort_key() for f in result.flows], counters, spans)
+
+    first = run()
+    for _ in range(2):
+        assert run() == first
+
+
+def test_ladder_degradations_replay_in_rule_order():
+    """absorb_child replays worker degradation records in shard (= rule)
+    order, so the parent's record is identical run to run even though
+    workers finish in arbitrary order."""
+    def degradations():
+        config = TAJConfig.cs(max_state_units=5).with_resilience(
+            resilient=True).with_jobs(2)
+        result = TAJ(config).analyze_sources([APP])
+        return [(d.phase, d.trigger, d.fallback)
+                for d in result.degradations]
+
+    first = degradations()
+    assert first, "the tiny CS budget must trip the ladder"
+    for _ in range(2):
+        assert degradations() == first

@@ -1,0 +1,161 @@
+"""Persistent-pool tests: worker reuse, snapshot shipping under both
+start methods, ordered collection, and the serial fallback."""
+
+import multiprocessing as mp
+import pickle
+
+import pytest
+
+from repro.bounds import Budget
+from repro.modeling import prepare, default_natives
+from repro.obs import Observability
+from repro.parallel import (EngineSnapshot, PersistentWorkerPool,
+                            SnapshotError, WorkerContext,
+                            pick_start_method, plan_shards)
+from repro.pointer import ContextPolicy, PointerAnalysis
+from repro.pointer.heapgraph import HeapGraph
+from repro.sdg.hsdg import DirectEdges
+from repro.sdg.noheap import NoHeapSDG
+from repro.taint import TaintEngine, default_rules
+
+APP = """
+class P0 extends HttpServlet {
+  void doGet(HttpServletRequest req, HttpServletResponse resp) {
+    resp.getWriter().println(req.getParameter("a"));
+  }
+}
+class P1 extends HttpServlet {
+  void doGet(HttpServletRequest req, HttpServletResponse resp) {
+    resp.getWriter().println(req.getParameter("b"));
+    Connection c = DriverManager.getConnection("db");
+    c.createStatement().executeQuery("q" + req.getParameter("u"));
+  }
+}
+class P2 extends HttpServlet {
+  void doGet(HttpServletRequest req, HttpServletResponse resp) {
+    String v = req.getParameter("c");
+    resp.getWriter().println(v);
+  }
+}
+"""
+
+
+@pytest.fixture(scope="module")
+def pieces():
+    prepared = prepare([APP])
+    analysis = PointerAnalysis(prepared.program, ContextPolicy(),
+                               natives=default_natives())
+    analysis.solve()
+    sdg = NoHeapSDG(prepared.program, analysis.call_graph)
+    return sdg, DirectEdges(sdg, analysis), HeapGraph(analysis)
+
+
+def _engine(pieces, **kwargs):
+    sdg, direct, heap = pieces
+    return TaintEngine(sdg, direct, heap, default_rules(), Budget(),
+                       **kwargs)
+
+
+def test_pick_start_method():
+    available = mp.get_all_start_methods()
+    assert pick_start_method() in available
+    for method in available:
+        assert pick_start_method(method) == method
+    with pytest.raises(ValueError):
+        pick_start_method("definitely-not-a-start-method")
+
+
+def test_pool_workers_persist_across_shards(pieces):
+    """The persistence proof: one pool start, one snapshot
+    deserialization per worker, strictly fewer inits than shards."""
+    obs = Observability()
+    engine = _engine(pieces, jobs=2, obs=obs)
+    result = engine.run()
+    assert result.flows
+    shards = obs.metrics.gauge_value("taint.pool.shards")
+    inits = obs.metrics.counter_value("taint.pool.worker_inits")
+    assert shards > 2
+    assert 1 <= inits <= 2 < shards
+    # Exactly one pool startup span for the whole sweep.
+    starts = obs.tracer.find("taint.pool.start")
+    assert len(starts) == 1
+    assert starts[0].attrs["jobs"] == 2
+    assert starts[0].attrs["shards"] == shards
+    assert starts[0].attrs["snapshot_bytes"] == \
+        obs.metrics.gauge_value("taint.pool.snapshot_bytes") > 0
+    # Per-shard timings ride home from the workers.
+    shard_timer = obs.metrics.timer_summary("taint.pool.shard_seconds")
+    assert shard_timer["count"] == shards
+
+
+def test_run_shards_returns_shard_order(pieces):
+    engine = _engine(pieces)
+    rules = list(engine.rules)
+    shards = plan_shards(engine.sdg, rules, "hybrid", Budget())
+    snapshot = EngineSnapshot(engine, shards)
+    with PersistentWorkerPool(snapshot, 2) as pool:
+        outcomes = pool.run_shards(len(shards))
+    # Dynamic dispatch completes in arbitrary order; collection is by
+    # shard index — the determinism the merge relies on.
+    assert [out.index for out in outcomes] == list(range(len(shards)))
+    assert len({out.pid for out in outcomes}) <= 2
+
+
+@pytest.mark.parametrize("method", mp.get_all_start_methods())
+def test_start_methods_agree_with_serial(pieces, method):
+    """Snapshot protocol is start-method agnostic: fork children and
+    fresh spawned interpreters reconstruct identical bit tables."""
+    serial = _engine(pieces).run()
+    parallel = _engine(pieces, jobs=2, start_method=method).run()
+    assert [f.sort_key() for f in parallel.flows] == \
+        [f.sort_key() for f in serial.flows]
+    assert parallel.completed_rules == serial.completed_rules
+
+
+def test_worker_context_round_trip(pieces):
+    """A WorkerContext rebuilt purely from the blob reproduces the
+    engine's shard outcomes (what every pool worker does once)."""
+    engine = _engine(pieces)
+    rules = list(engine.rules)
+    shards = plan_shards(engine.sdg, rules, "hybrid", Budget())
+    snapshot = EngineSnapshot(engine, shards)
+    ctx = WorkerContext(pickle.loads(pickle.dumps(snapshot.blob)))
+    outs = [ctx.run_shard(i) for i in range(len(shards))]
+    flows = sorted((f for out in outs for f in out.flows),
+                   key=lambda f: f.sort_key())
+    serial = _engine(pieces).run()
+    assert [f.sort_key() for f in flows] == \
+        [f.sort_key() for f in serial.flows]
+    assert ctx.init_seconds > 0
+
+
+def test_unpicklable_engine_falls_back_to_serial(pieces):
+    """SnapshotError (unshippable state) must degrade to the serial
+    reference path, not crash the sweep."""
+    obs = Observability()
+    engine = _engine(pieces, jobs=2, obs=obs)
+    engine.sdg.unpicklable_probe = lambda: None  # closures can't ship
+    try:
+        result = engine.run()
+    finally:
+        del engine.sdg.unpicklable_probe
+    serial = _engine(pieces).run()
+    assert [f.sort_key() for f in result.flows] == \
+        [f.sort_key() for f in serial.flows]
+    # The pool never started, so no parallel bookkeeping was recorded —
+    # just the aborted startup span, annotated with the fallback.
+    assert obs.metrics.gauge_value("taint.pool.workers") is None
+    starts = obs.tracer.find("taint.pool.start")
+    assert len(starts) == 1
+    assert starts[0].attrs["fallback"] == "serial"
+    assert "SnapshotError" in starts[0].attrs["error"]
+
+
+def test_snapshot_error_type(pieces):
+    engine = _engine(pieces)
+    engine.sdg.unpicklable_probe = lambda: None
+    try:
+        with pytest.raises(SnapshotError):
+            EngineSnapshot(engine, [])
+    finally:
+        del engine.sdg.unpicklable_probe

@@ -1,0 +1,112 @@
+"""Shard-plan tests: determinism, the grain gate, chunking."""
+
+import pytest
+
+from repro.bounds import Budget
+from repro.modeling import prepare, default_natives
+from repro.parallel import Shard, plan_shards, splittable
+from repro.pointer import ContextPolicy, PointerAnalysis
+from repro.sdg.noheap import NoHeapSDG
+from repro.slicing.base import enumerate_sources
+from repro.taint import default_rules
+
+# Three servlets so the XSS rule has three seed groups to shard over.
+APP = """
+class S0 extends HttpServlet {
+  void doGet(HttpServletRequest req, HttpServletResponse resp) {
+    resp.getWriter().println(req.getParameter("a"));
+  }
+}
+class S1 extends HttpServlet {
+  void doGet(HttpServletRequest req, HttpServletResponse resp) {
+    resp.getWriter().println(req.getParameter("b"));
+  }
+}
+class S2 extends HttpServlet {
+  void doGet(HttpServletRequest req, HttpServletResponse resp) {
+    resp.getWriter().println(req.getParameter("c"));
+    Connection c = DriverManager.getConnection("db");
+    c.createStatement().executeQuery("q" + req.getParameter("u"));
+  }
+}
+"""
+
+
+@pytest.fixture(scope="module")
+def sdg():
+    prepared = prepare([APP])
+    analysis = PointerAnalysis(prepared.program, ContextPolicy(),
+                               natives=default_natives())
+    analysis.solve()
+    return NoHeapSDG(prepared.program, analysis.call_graph)
+
+
+def test_splittable_gate():
+    # Fine grain is safe only without shared mutable budget state.
+    assert splittable("hybrid", Budget())
+    assert splittable("ci", Budget())
+    assert not splittable("cs", Budget())
+    assert not splittable("hybrid", Budget(max_state_units=10))
+    assert not splittable("hybrid", Budget(max_heap_transitions=10))
+    # Witness-relative bounds don't force whole-rule shards.
+    assert splittable("hybrid", Budget(max_flow_length=25))
+
+
+def test_plan_is_deterministic(sdg):
+    rules = list(default_rules())
+    first = plan_shards(sdg, rules, "hybrid", Budget())
+    second = plan_shards(sdg, rules, "hybrid", Budget())
+    assert first == second
+    assert [s.index for s in first] == list(range(len(first)))
+
+
+def test_fine_grain_covers_every_seed_group(sdg):
+    rules = list(default_rules())
+    shards = plan_shards(sdg, rules, "hybrid", Budget())
+    for rule_index, rule in enumerate(rules):
+        methods = {seed.stmt.ref.method
+                   for seed in enumerate_sources(sdg, rule)}
+        mine = [s for s in shards if s.rule_index == rule_index]
+        if len(methods) > 1:
+            covered = [m for s in mine for m in s.groups]
+            # Exact partition: every group exactly once, sorted order.
+            assert covered == sorted(methods)
+        else:
+            assert mine == [Shard(mine[0].index, rule_index, rule.name)]
+
+
+def test_rule_grain_forces_whole_rules(sdg):
+    rules = list(default_rules())
+    shards = plan_shards(sdg, rules, "hybrid", Budget(), grain="rule")
+    assert len(shards) == len(rules)
+    assert all(s.groups is None for s in shards)
+
+
+def test_unsplittable_budget_forces_whole_rules(sdg):
+    rules = list(default_rules())
+    for budget, strategy in ((Budget(max_state_units=5), "hybrid"),
+                             (Budget(max_heap_transitions=5), "hybrid"),
+                             (Budget(), "cs")):
+        shards = plan_shards(sdg, rules, strategy, budget)
+        assert all(s.groups is None for s in shards)
+
+
+def test_chunk_bound_caps_shards_per_rule(sdg):
+    rules = list(default_rules())
+    shards = plan_shards(sdg, rules, "hybrid", Budget(),
+                         max_shards_per_rule=2)
+    for rule_index in range(len(rules)):
+        mine = [s for s in shards if s.rule_index == rule_index]
+        assert len(mine) <= 2
+    # Chunked plans still cover every group exactly once.
+    xss = [s for s in shards if s.rule == "XSS" and s.groups]
+    covered = [m for s in xss for m in s.groups]
+    assert covered == sorted(set(covered))
+
+
+def test_plan_rejects_bad_arguments(sdg):
+    rules = list(default_rules())
+    with pytest.raises(ValueError):
+        plan_shards(sdg, rules, "hybrid", Budget(), grain="bogus")
+    with pytest.raises(ValueError):
+        plan_shards(sdg, rules, "hybrid", Budget(), max_shards_per_rule=0)

@@ -11,8 +11,10 @@ Three contracts, each on every corpus program:
   graph, hybrid slicing) run over either solver finds the identical
   per-rule flow sets, so the representation change never reaches a
   report;
-* **jobs invariance** — the parallel per-rule sweep (``jobs=4``) returns
-  exactly the serial sweep's flows, in the same canonical order.
+* **jobs and shard invariance** — the persistent-pool sweep
+  (``jobs=4``) returns exactly the serial sweep's flows in the same
+  canonical order, at the default shard plan and at a deliberately
+  skewed chunk size (one seed chunk per rule).
 
 The hypothesis-driven random-program differential lives in
 ``test_differential.py``; this file pins the fixed corpora the
@@ -92,8 +94,10 @@ def test_parallel_sweep_is_jobs_invariant(name, source):
     heap = HeapGraph(analysis)
     serial = TaintEngine(sdg, direct, heap, default_rules(),
                          Budget()).run()
-    parallel = TaintEngine(sdg, direct, heap, default_rules(), Budget(),
-                           jobs=4).run()
-    assert [f.sort_key() for f in parallel.flows] == \
-        [f.sort_key() for f in serial.flows], name
-    assert parallel.completed_rules == serial.completed_rules, name
+    for shards_per_rule in (None, 1):
+        parallel = TaintEngine(sdg, direct, heap, default_rules(),
+                               Budget(), jobs=4,
+                               shards_per_rule=shards_per_rule).run()
+        assert [f.sort_key() for f in parallel.flows] == \
+            [f.sort_key() for f in serial.flows], (name, shards_per_rule)
+        assert parallel.completed_rules == serial.completed_rules, name
