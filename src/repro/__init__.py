@@ -26,6 +26,7 @@ Quickstart::
     print(result.issues)
 """
 
+from .confirm import ConfirmationResult, FlowVerdict, ReplayOracle
 from .core import TAJ, TAJConfig, TAJResult, analyze, settings_matrix
 from .obs import Observability
 from .taint import (RuleSet, SecurityRule, TaintFlow, default_rules,
@@ -34,8 +35,9 @@ from .taint import (RuleSet, SecurityRule, TaintFlow, default_rules,
 __version__ = "1.0.0"
 
 __all__ = [
-    "Observability", "RuleSet", "SecurityRule", "TAJ", "TAJConfig",
-    "TAJResult", "TaintFlow", "analyze", "default_rules",
-    "extended_rules", "settings_matrix",
+    "ConfirmationResult", "FlowVerdict", "Observability", "ReplayOracle",
+    "RuleSet", "SecurityRule", "TAJ", "TAJConfig", "TAJResult",
+    "TaintFlow", "analyze", "default_rules", "extended_rules",
+    "settings_matrix",
     "__version__",
 ]

@@ -15,6 +15,12 @@ Planting families (see DESIGN.md §4):
   §6.2.3 nested-taint bound (the optimized configuration misses it);
 * ``tp_thread`` — a cross-thread flow (CS thin slicing misses it);
 * ``san``     — sanitized variants: reporting one is a false positive;
+* ``decoy_*`` — sanitize-in-place overwrites: a tainted value is stored
+  into a field, then overwritten with its sanitized copy before the
+  load+sink.  The flow-insensitive heap (weak updates) makes every
+  static configuration report them, while a dynamic replay sees only
+  the sanitized value — planted *refutable* false positives for the
+  confirmation oracle (``repro.confirm``);
 * ``trap_context`` — tainted and clean data through one shared helper,
   the clean result printed: context-insensitive slicing reports it;
 * ``trap_factory`` — two containers minted by one factory method, one
@@ -50,7 +56,7 @@ SINK_OF_RULE = {
 class PlantedFlow:
     """Ground truth for one planted pattern."""
 
-    kind: str                 # tp | tp_deep | tp_thread | san | trap_*
+    kind: str           # tp | tp_deep | tp_thread | san | decoy | trap_*
     rule: str                 # security rule it involves
     sink_method: str          # qname of the method holding the sink
     app: str
@@ -58,6 +64,12 @@ class PlantedFlow:
     @property
     def is_true_positive(self) -> bool:
         return self.kind.startswith("tp")
+
+    @property
+    def is_decoy(self) -> bool:
+        """A planted false positive every static configuration reports
+        but a dynamic replay refutes (sanitize-in-place overwrite)."""
+        return self.kind == "decoy"
 
 
 @dataclass
@@ -81,6 +93,9 @@ class AppSpec:
     tp_deep: int = 0          # nested-taint deeper than the bound
     tp_thread: int = 0        # cross-thread (CS false negatives)
     sanitized: int = 2
+    decoy_field: int = 0      # sanitize-in-place instance field (XSS)
+    decoy_static: int = 0     # sanitize-in-place static field (XSS)
+    decoy_sql: int = 0        # sanitize-in-place escapeSql (SQLI)
     trap_context: int = 1
     trap_factory: int = 1
     trap_xentry: int = 1
@@ -100,7 +115,8 @@ class AppSpec:
     SCALED_FIELDS = (
         "tp_direct", "tp_string", "tp_map", "tp_heap", "tp_helper",
         "tp_carrier", "tp_chain", "tp_reflect", "tp_sql", "tp_file",
-        "tp_leak", "tp_deep", "tp_thread", "sanitized", "trap_context",
+        "tp_leak", "tp_deep", "tp_thread", "sanitized", "decoy_field",
+        "decoy_static", "decoy_sql", "trap_context",
         "trap_factory", "trap_xentry", "trap_xentry_long", "trap_logger",
         "cold_classes", "lib_classes",
     )
@@ -364,6 +380,55 @@ class {task} implements Runnable {{
     String v = URLEncoder.encode(req.getParameter("p{uid}"));
     resp.getWriter().println(v);""", uid)
 
+    def _pat_decoy_field(self, servlet: str, uid: int) -> str:
+        """Sanitize-in-place through an instance field: the tainted
+        store is dead by the time the load runs, but weak heap updates
+        keep it visible to every static configuration."""
+        box = f"{self.prefix}DecoyBox{uid}"
+        self.classes.append(f"""
+class {box} {{
+  String held;
+}}""")
+        self._plant("decoy", "XSS", f"{servlet}.flow{uid}/2")
+        return self._flow_method(f"""
+    String raw = req.getParameter("p{uid}");
+    {box} b = new {box}();
+    b.held = raw;
+    b.held = URLEncoder.encode(raw);
+    resp.getWriter().println(b.held);""", uid)
+
+    def _pat_decoy_static(self, servlet: str, uid: int) -> str:
+        """Sanitize-in-place through a static field."""
+        reg = f"{self.prefix}DecoyReg{uid}"
+        self.classes.append(f"""
+class {reg} {{
+  static String slot;
+}}""")
+        self._plant("decoy", "XSS", f"{servlet}.flow{uid}/2")
+        return self._flow_method(f"""
+    String raw = req.getParameter("p{uid}");
+    {reg}.slot = raw;
+    {reg}.slot = StringEscapeUtils.escapeHtml(raw);
+    resp.getWriter().println({reg}.slot);""", uid)
+
+    def _pat_decoy_sql(self, servlet: str, uid: int) -> str:
+        """Sanitize-in-place feeding a SQL sink."""
+        box = f"{self.prefix}DecoyQuery{uid}"
+        self.classes.append(f"""
+class {box} {{
+  String clause;
+}}""")
+        self._plant("decoy", "SQLI", f"{servlet}.flow{uid}/2")
+        return self._flow_method(f"""
+    String user = req.getParameter("u{uid}");
+    {box} q = new {box}();
+    q.clause = user;
+    q.clause = StringEscapeUtils.escapeSql(user);
+    Connection c = DriverManager.getConnection("jdbc:app");
+    Statement st = c.createStatement();
+    st.executeQuery("SELECT * FROM t WHERE u='" + q.clause + "'");""",
+                                 uid)
+
     def _pat_trap_context(self, servlet: str, uid: int) -> str:
         helper = f"{self.prefix}Ident{uid}"
         self.classes.append(f"""
@@ -579,6 +644,9 @@ class {bean} {{
         plant_n(spec.tp_deep, self._pat_tp_deep)
         plant_n(spec.tp_thread, self._pat_tp_thread)
         plant_n(spec.sanitized, self._pat_sanitized)
+        plant_n(spec.decoy_field, self._pat_decoy_field)
+        plant_n(spec.decoy_static, self._pat_decoy_static)
+        plant_n(spec.decoy_sql, self._pat_decoy_sql)
         plant_n(spec.trap_context, self._pat_trap_context)
         plant_n(spec.trap_factory, self._pat_trap_factory)
         plant_n(spec.trap_logger, self._pat_trap_logger)

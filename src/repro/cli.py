@@ -65,6 +65,19 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--dynamic", action="store_true",
                         help="also execute the program concretely and "
                              "report tainted sink events")
+    parser.add_argument("--confirm", action="store_true",
+                        help="replay each reported flow with partial "
+                             "instrumentation and label it confirmed/"
+                             "refuted/inconclusive "
+                             "(docs/validation.md)")
+    parser.add_argument("--confirm-fuel", type=int, default=200_000,
+                        metavar="N",
+                        help="interpreter step budget per confirmation "
+                             "replay (default 200000)")
+    parser.add_argument("--confirm-seed", type=int, default=1,
+                        metavar="N",
+                        help="payload seed for confirmation replays "
+                             "(default 1)")
     parser.add_argument("--stats", action="store_true",
                         help="print solver kernel statistics "
                              "(propagations, cycle merges, phase times) "
@@ -175,6 +188,9 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.jobs != 1:
         config = config.with_jobs(args.jobs,
                                   shard_grain=args.shard_grain)
+    if args.confirm:
+        config = config.with_confirm(fuel=args.confirm_fuel,
+                                     seed=args.confirm_seed)
     rules = extended_rules() if args.rules == "extended" \
         else default_rules()
 
@@ -231,6 +247,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         if result.diagnostics:
             payload["diagnostics"] = [d.to_dict()
                                       for d in result.diagnostics]
+        if result.confirmation is not None:
+            payload["confirmation"] = result.confirmation.to_payload()
         if args.stats:
             payload["stats"] = result.solver_stats()
         print(json.dumps(payload, indent=2))
@@ -247,6 +265,20 @@ def main(argv: Optional[List[str]] = None) -> int:
             for deg in result.degradations:
                 print(f"  degraded: {deg.phase} [{deg.trigger}] "
                       f"-> {deg.fallback}")
+        if result.confirmation is not None:
+            conf = result.confirmation
+            counts = conf.counts()
+            print(f"\ndynamic confirmation (seed {conf.seed}, "
+                  f"{conf.replays} replays): "
+                  + ", ".join(f"{counts[name]} {name}"
+                              for name in counts))
+            for verdict in conf.verdicts:
+                detail = verdict.reason
+                if verdict.fault_replay:
+                    detail += ", fault-mode"
+                print(f"  [{verdict.rule}] {verdict.source} -> "
+                      f"{verdict.sink} ({verdict.sink_display}): "
+                      f"{verdict.verdict} ({detail})")
         if result.failed:
             print(f"\nanalysis failed: {result.failure}")
         elif result.truncated:

@@ -1,0 +1,28 @@
+"""``repro.confirm`` — dynamic confirmation of reported flows.
+
+The static analysis says *what might flow*; this package says which of
+those reports are real.  For each reported flow it instruments only the
+methods on the flow's witness chain (partial instrumentation, arXiv
+2411.19354), replays the program concretely in :mod:`repro.interp`
+with seeded deterministic inputs, and issues a verdict:
+``confirmed`` / ``refuted`` / ``inconclusive``.
+
+Pipeline integration: ``TAJConfig.with_confirm()`` / CLI ``--confirm``
+run the oracle as a ``phase.confirm`` span after reporting and attach
+the :class:`ConfirmationResult` to ``TAJResult.confirmation``;
+``benchmarks/confirmation.py`` scores the verdicts against planted
+ground truth corpus-wide.  Semantics: ``docs/validation.md``.
+"""
+
+from .oracle import DEFAULT_SEED, ReplayOracle, confirm_result
+from .plan import FlowProbe, InstrumentationPlan, build_plan
+from .verdicts import (CONFIRMED, INCONCLUSIVE, REFUTED, VERDICT_ORDER,
+                       ConfirmationResult, FlowVerdict,
+                       canonical_verdicts)
+
+__all__ = [
+    "CONFIRMED", "ConfirmationResult", "DEFAULT_SEED", "FlowProbe",
+    "FlowVerdict", "INCONCLUSIVE", "InstrumentationPlan", "REFUTED",
+    "ReplayOracle", "VERDICT_ORDER", "build_plan", "canonical_verdicts",
+    "confirm_result",
+]

@@ -78,6 +78,16 @@ class TAJConfig:
     # Multiprocessing start method for the pool (None = fork when
     # available, else spawn); the snapshot protocol supports both.
     start_method: Optional[str] = None
+    # Dynamic flow confirmation (repro.confirm, docs/validation.md):
+    # after reporting, replay the program with partial instrumentation
+    # derived from each flow's witness chain and attach per-flow
+    # confirmed/refuted/inconclusive verdicts to the result.
+    confirm: bool = False
+    # Interpreter step budget per replay run.
+    confirm_fuel: int = 200_000
+    # Payload seed mixed into every source value during replay, making
+    # verdicts a deterministic function of (program, seed, fault mode).
+    confirm_seed: int = 1
 
     def with_budget(self, **kwargs) -> "TAJConfig":
         budget = self.budget.copy()
@@ -91,6 +101,14 @@ class TAJConfig:
         optionally, a wall-clock deadline)."""
         return replace(self, deadline_seconds=deadline_seconds,
                        resilient=resilient)
+
+    def with_confirm(self, confirm: bool = True,
+                     fuel: int = 200_000, seed: int = 1) -> "TAJConfig":
+        """This configuration with the dynamic replay oracle enabled:
+        every reported flow gets a confirmed/refuted/inconclusive
+        verdict (``TAJResult.confirmation``)."""
+        return replace(self, confirm=confirm, confirm_fuel=fuel,
+                       confirm_seed=seed)
 
     def with_jobs(self, jobs: int, shard_grain: str = "auto",
                   start_method: Optional[str] = None) -> "TAJConfig":

@@ -5,6 +5,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
+from ..confirm.verdicts import ConfirmationResult
 from ..reporting import Report
 from ..resilience import COMPLETE, Degradation, Diagnostic
 from ..taint.flows import TaintFlow
@@ -31,11 +32,12 @@ class PhaseTimes:
     sdg: float = 0.0
     taint: float = 0.0
     reporting: float = 0.0
+    confirm: float = 0.0
 
     @property
     def total(self) -> float:
         return (self.modeling + self.pointer_analysis + self.sdg +
-                self.taint + self.reporting)
+                self.taint + self.reporting + self.confirm)
 
 
 @dataclass
@@ -70,6 +72,11 @@ class TAJResult:
     completeness: str = COMPLETE
     degradations: List[Degradation] = field(default_factory=list)
     diagnostics: List[Diagnostic] = field(default_factory=list)
+    # Dynamic confirmation verdicts (repro.confirm): one per reported
+    # flow, ``None`` unless the run was configured with ``confirm``.
+    # Under a degraded ("partial-*") run only the surviving flows are
+    # confirmed — a verdict never resurrects a dropped flow.
+    confirmation: Optional[ConfirmationResult] = None
 
     def solver_stats(self) -> Dict[str, float]:
         """The pointer-solver kernel's counters and phase times.

@@ -39,6 +39,7 @@ from typing import Dict, List, Optional
 
 from ..bounds import Budget
 from ..callgraph import PriorityOrder
+from ..confirm.oracle import ReplayOracle
 from ..modeling import (COLLECTION_CLASSES, FACTORY_METHODS, ModelOptions,
                         PreparedProgram, default_natives, prepare)
 from ..obs import Observability
@@ -105,15 +106,26 @@ class TAJ:
         obs.sample_memory()
         times = PhaseTimes(modeling=span.duration)
         return self.analyze_prepared(prepared, times, obs=obs,
-                                     resilience=res)
+                                     resilience=res,
+                                     confirm_sources=sources,
+                                     confirm_descriptor=
+                                     deployment_descriptor)
 
     def analyze_prepared(self, prepared: PreparedProgram,
                          times: Optional[PhaseTimes] = None,
                          obs: Optional[Observability] = None,
-                         resilience: Optional[ResilienceContext] = None
-                         ) -> TAJResult:
+                         resilience: Optional[ResilienceContext] = None,
+                         confirm_sources: Optional[List[str]] = None,
+                         confirm_descriptor: Optional[Dict[str, str]]
+                         = None) -> TAJResult:
         """Analyze an already modeled program (lets callers share the
-        modeling phase across configurations)."""
+        modeling phase across configurations).
+
+        ``confirm_sources`` carries the raw sources forward for the
+        dynamic-confirmation phase (the replay runs on a separately
+        prepared execution program, not on the analysis model); without
+        them a ``confirm`` configuration skips confirmation silently.
+        """
         config = self.config
         obs = self._resolve_obs(obs)
         tracer = obs.tracer
@@ -239,6 +251,34 @@ class TAJ:
             # report is just not grouped.
             res.diagnostics.absorb("reporting", exc)
             res.degrade("reporting", "fault", "skip-report", str(exc))
+
+        # ---- dynamic confirmation (repro.confirm) -----------------------------
+        if config.confirm and confirm_sources is not None:
+            try:
+                if armed is not None:
+                    armed.check("confirm.replay", phase="confirm")
+                with tracer.span("phase.confirm",
+                                 flows=len(result.flows)) as span:
+                    oracle = ReplayOracle(rules=self.rules,
+                                          fuel=config.confirm_fuel,
+                                          seed=config.confirm_seed,
+                                          obs=obs)
+                    result.confirmation = oracle.confirm(
+                        result.flows, confirm_sources,
+                        confirm_descriptor)
+                    span.set(**result.confirmation.counts())
+                times.confirm = span.duration
+            except DeadlineExceeded as exc:
+                res.degrade("confirm", "deadline", "skip-confirm",
+                            str(exc))
+            except Exception as exc:
+                if armed is None:
+                    raise
+                # Confirmation is advisory — the static report stands;
+                # the flows just stay unclassified.
+                res.diagnostics.absorb("confirm", exc)
+                res.degrade("confirm", "fault", "skip-confirm",
+                            str(exc))
         return self._finalize(result, res, obs)
 
     # -- internals ----------------------------------------------------------------

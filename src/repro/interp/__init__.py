@@ -5,16 +5,16 @@ two): used to validate benchmark ground truth and static findings.
 """
 
 from .interpreter import (Interpreter, RunResult, SinkEvent, execute)
-from .validation import (DynamicSummary, DynamicWitness,
-                         execution_options, prepare_for_execution,
-                         run_dynamic)
+from .validation import (LABEL_KINDS, DynamicSummary, DynamicWitness,
+                         ParsedLabel, execution_options, parse_label,
+                         prepare_for_execution, run_dynamic)
 from .values import (JArray, JBool, JClass, JHome, JInt, JMethod, JNull,
                      JObject, JString, NULL, deep_taint, taint_of)
 
 __all__ = [
     "DynamicSummary", "DynamicWitness", "Interpreter", "JArray", "JBool",
     "JClass", "JHome", "JInt", "JMethod", "JNull", "JObject", "JString",
-    "NULL", "RunResult", "SinkEvent", "deep_taint", "execute",
-    "execution_options", "prepare_for_execution", "run_dynamic",
-    "taint_of",
+    "LABEL_KINDS", "NULL", "ParsedLabel", "RunResult", "SinkEvent",
+    "deep_taint", "execute", "execution_options", "parse_label",
+    "prepare_for_execution", "run_dynamic", "taint_of",
 ]

@@ -27,8 +27,11 @@ Scope/simplifications (documented, deliberate):
 
 from __future__ import annotations
 
+import sys
+
 from dataclasses import dataclass, field
-from typing import Callable, Dict, FrozenSet, List, Optional, Tuple
+from typing import (Callable, Dict, FrozenSet, List, Optional, Set,
+                    Tuple)
 
 from ..ir import (ArrayLoad, ArrayStore, Assign, BinOp, Call, Cast,
                   ClassHierarchy, Const, EnterCatch, Goto, If, Load,
@@ -73,7 +76,15 @@ class RunResult:
 
     events: List[SinkEvent] = field(default_factory=list)
     aborted_entrypoints: List[str] = field(default_factory=list)
+    # The subset of aborts caused by step-budget exhaustion (Fuel), as
+    # opposed to ``throw`` reaching the entrypoint frame (Halt).  The
+    # replay oracle treats these as "inconclusive", not "refuted".
+    fuel_exhausted: List[str] = field(default_factory=list)
     steps: int = 0
+    # Every method body the run entered (qnames) — the coverage record
+    # the replay oracle (repro.confirm) uses to distinguish "refuted"
+    # (sink reached, stayed clean) from "inconclusive" (never reached).
+    entered_methods: Set[str] = field(default_factory=set)
 
     def tainted_events(self) -> List[SinkEvent]:
         return [e for e in self.events if e.tainted]
@@ -90,6 +101,11 @@ SINK_DISPLAYS = {
 }
 # Constructor sinks: recorded, then the real body (if any) still runs.
 CTOR_SINKS = {"File", "FileReader", "FileWriter", "FileInputStream"}
+
+# Python frames needed per app-level call comfortably fit this budget
+# even for the deepest scaled-corpus call chains (fuel bounds total
+# steps, so depth cannot exceed the fuel limit anyway).
+_RECURSION_LIMIT = 100_000
 
 SANITIZER_DISPLAYS = {
     "URLEncoder.encode", "Encoder.encodeForHTML",
@@ -112,31 +128,75 @@ SOURCE_DISPLAYS = {
 
 
 class Interpreter:
-    """Executes a program's entrypoints with taint tracking."""
+    """Executes a program's entrypoints with taint tracking.
+
+    Partial instrumentation (paper-adjacent: arXiv 2411.19354 shows
+    path-restricted dynamic taint suffices to triage candidate flows):
+    ``source_methods`` / ``sink_methods`` restrict where taint labels
+    are minted and where sink events are recorded to the methods on a
+    candidate flow's witness chain.  ``None`` (the default) instruments
+    everything — the legacy full-replay behaviour.  ``seed`` is mixed
+    into every source payload so replays are deterministic functions of
+    (program, seed, fault mode).
+    """
 
     def __init__(self, program: Program, fuel: int = 200_000,
-                 fault_injection: bool = False) -> None:
+                 fault_injection: bool = False,
+                 source_methods: Optional[FrozenSet[str]] = None,
+                 sink_methods: Optional[FrozenSet[str]] = None,
+                 seed: int = 0) -> None:
         self.program = program
         self.hierarchy = ClassHierarchy(program)
         self.fuel_limit = fuel
         self.fault_injection = fault_injection
+        self.source_methods = source_methods
+        self.sink_methods = sink_methods
+        self.seed = seed
         self.statics: Dict[Tuple[str, str], object] = {}
         self.result = RunResult()
         self._fuel = 0
+
+    def _instrument_source(self, method: Method) -> bool:
+        """Should a source executing inside ``method`` mint a label?"""
+        return self.source_methods is None or \
+            method.qname in self.source_methods
+
+    def _instrument_sink(self, method: Method) -> bool:
+        """Should a sink call inside ``method`` record an event?"""
+        return self.sink_methods is None or \
+            method.qname in self.sink_methods
+
+    def _payload(self, text: str) -> str:
+        """The deterministic concrete value a source returns."""
+        if self.seed:
+            return f"<{text}#s{self.seed}>"
+        return f"<{text}>"
 
     # -- public API ---------------------------------------------------------
 
     def run(self) -> RunResult:
         """Execute every entrypoint in order; shared static state."""
-        for entry in self.program.entrypoints:
-            method = self.program.lookup_method(entry)
-            if method is None:
-                continue
-            self._fuel = 0
-            try:
-                self.call_method(method, None, [])
-            except (Fuel, Halt):
-                self.result.aborted_entrypoints.append(entry)
+        # Scaled benchmark apps chain calls hundreds of frames deep and
+        # each app-level call costs several Python frames.  CPython 3.11
+        # inlines Python-to-Python calls, so raising the ceiling is safe
+        # (no C stack growth); restore it when the run finishes.
+        limit = sys.getrecursionlimit()
+        sys.setrecursionlimit(max(limit, _RECURSION_LIMIT))
+        try:
+            for entry in self.program.entrypoints:
+                method = self.program.lookup_method(entry)
+                if method is None:
+                    continue
+                self._fuel = 0
+                try:
+                    self.call_method(method, None, [])
+                except Fuel:
+                    self.result.aborted_entrypoints.append(entry)
+                    self.result.fuel_exhausted.append(entry)
+                except (Halt, RecursionError):
+                    self.result.aborted_entrypoints.append(entry)
+        finally:
+            sys.setrecursionlimit(limit)
         return self.result
 
     # -- helpers ------------------------------------------------------------------
@@ -161,6 +221,8 @@ class Interpreter:
 
     def record_sink(self, method: Method, call: Call, display: str,
                     args: List[object]) -> None:
+        if not self._instrument_sink(method):
+            return
         direct = NO_TAINT
         state = NO_TAINT
         for arg in args:
@@ -176,6 +238,7 @@ class Interpreter:
                     args: List[object]) -> object:
         if method.is_native:
             raise Halt()  # native without builtin: cannot execute
+        self.result.entered_methods.add(method.qname)
         env: Dict[str, object] = {}
         if receiver is not None:
             env["this"] = receiver
@@ -370,10 +433,12 @@ class Interpreter:
         return JString("".join(parts), taint)
 
     def _caught_exception(self, method: Method, instr) -> JObject:
-        label = f"exc:{method.qname}@{instr.iid}"
         exc = self.new_object(instr.exc_type)
+        taint = NO_TAINT
+        if self._instrument_source(method):
+            taint = frozenset({f"exc:{method.qname}@{instr.iid}"})
         exc.fields["message"] = JString(
-            f"internal error ({instr.exc_type})", frozenset({label}))
+            f"internal error ({instr.exc_type})", taint)
         return exc
 
     # -- calls ----------------------------------------------------------------------
@@ -436,9 +501,11 @@ class Interpreter:
         # Sources.
         kind = SOURCE_DISPLAYS.get(display)
         if kind is not None:
-            label = f"{kind}:{method.qname}@{call.iid}"
             seedtext = str(args[0]) if args else "input"
-            return JString(f"<{seedtext}>", frozenset({label}))
+            taint = NO_TAINT
+            if self._instrument_source(method):
+                taint = frozenset({f"{kind}:{method.qname}@{call.iid}"})
+            return JString(self._payload(seedtext), taint)
         # Sanitizers annotate labels (rule-specific judgement happens at
         # validation time).
         if display in SANITIZER_DISPLAYS:
@@ -516,9 +583,12 @@ class Interpreter:
         if display == "RandomAccessFile.readFully" and args:
             buffer = args[0]
             if isinstance(buffer, JArray):
-                label = f"src:{method.qname}@{call.iid}"
-                buffer.store(0, JString("<file data>",
-                                        frozenset({label})))
+                taint = NO_TAINT
+                if self._instrument_source(method):
+                    taint = frozenset(
+                        {f"src:{method.qname}@{call.iid}"})
+                buffer.store(0, JString(self._payload("file data"),
+                                        taint))
             return NULL
         if display == "Date.getDate":
             return JString("2009-06-15")
@@ -642,7 +712,12 @@ JNullType = type(NULL)
 
 
 def execute(program: Program, fuel: int = 200_000,
-            fault_injection: bool = False) -> RunResult:
+            fault_injection: bool = False,
+            source_methods: Optional[FrozenSet[str]] = None,
+            sink_methods: Optional[FrozenSet[str]] = None,
+            seed: int = 0) -> RunResult:
     """Run every entrypoint of an (unmodeled) program."""
     return Interpreter(program, fuel=fuel,
-                       fault_injection=fault_injection).run()
+                       fault_injection=fault_injection,
+                       source_methods=source_methods,
+                       sink_methods=sink_methods, seed=seed).run()

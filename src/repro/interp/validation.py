@@ -20,7 +20,7 @@ from ..taint.rules import RuleSet, default_rules
 from .interpreter import RunResult, SinkEvent, execute
 
 # Which dynamic label kinds can witness which rule.
-_LABEL_KINDS = {
+LABEL_KINDS = {
     "XSS": {"src"},
     "SQLI": {"src"},
     "MALICIOUS_FILE": {"src"},
@@ -28,6 +28,46 @@ _LABEL_KINDS = {
     "RESPONSE_SPLITTING": {"src"},
     "INFO_LEAK": {"exc", "sys"},
 }
+_LABEL_KINDS = LABEL_KINDS  # backwards-compatible alias
+
+
+@dataclass(frozen=True)
+class ParsedLabel:
+    """A decoded dynamic taint label.
+
+    Labels are ``<kind>:<Method>@<iid>`` with zero or more
+    ``|san=<Sanitizer.display>`` annotations appended by sanitizer
+    builtins (see :meth:`repro.interp.values.JString.with_sanitizer`).
+    """
+
+    kind: str                  # "src" | "exc" | "sys"
+    origin_method: str         # qname of the method holding the source
+    origin_iid: int
+    sanitizers: FrozenSet[str]
+
+    def witnesses(self, rule_name: str,
+                  rule_sanitizers: FrozenSet[str]) -> bool:
+        """Can this label witness ``rule_name``?  True when the label
+        kind matches the rule and none of the rule's sanitizers were
+        applied to the value on its way to the sink."""
+        if self.kind not in LABEL_KINDS.get(rule_name, {"src"}):
+            return False
+        return not (self.sanitizers & rule_sanitizers)
+
+
+def parse_label(label: str) -> ParsedLabel:
+    """Decode one dynamic taint label into its structured form."""
+    base, *annotations = label.split("|")
+    kind, _, origin = base.partition(":")
+    method, _, iid_text = origin.rpartition("@")
+    try:
+        iid = int(iid_text)
+    except ValueError:
+        method, iid = origin, -1
+    applied = frozenset(part[len("san="):] for part in annotations
+                        if part.startswith("san="))
+    return ParsedLabel(kind=kind, origin_method=method, origin_iid=iid,
+                       sanitizers=applied)
 
 
 def execution_options() -> ModelOptions:

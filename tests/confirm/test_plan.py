@@ -1,0 +1,66 @@
+"""Partial-instrumentation plans: witness-method extraction, canonical
+probe order, deduplication."""
+
+from repro.confirm import FlowProbe, InstrumentationPlan, build_plan
+from repro.sdg.nodes import StmtRef
+from repro.taint.flows import TaintFlow
+
+
+def _flow(rule="XSS", src=("A.doGet/2", 1), snk=("A.doGet/2", 9),
+          display="PrintWriter.println", lcp=("A.doGet/2", 9),
+          length=3, carrier=False):
+    return TaintFlow(rule=rule, source=StmtRef(*src), sink=StmtRef(*snk),
+                     sink_display=display, lcp=StmtRef(*lcp),
+                     length=length, via_carrier=carrier)
+
+
+def test_probe_carries_witness_chain_methods():
+    flow = _flow(src=("A.read/2", 1), snk=("B.write/2", 9),
+                 lcp=("C.emit/1", 4))
+    probe = FlowProbe.from_flow(flow)
+    assert probe.source_method == "A.read/2"
+    assert probe.sink_method == "B.write/2"
+    assert probe.lcp_method == "C.emit/1"
+    assert probe.witness_methods == {"A.read/2", "B.write/2", "C.emit/1"}
+
+
+def test_plan_unions_instrumented_methods():
+    plan = build_plan([
+        _flow(src=("A.a/1", 1), snk=("A.b/1", 2), lcp=("A.b/1", 2)),
+        _flow(rule="SQLI", src=("A.a/1", 3), snk=("A.c/1", 4),
+              lcp=("A.c/1", 4), display="Statement.executeQuery"),
+    ])
+    assert plan.source_methods == frozenset({"A.a/1"})
+    assert plan.sink_methods == frozenset({"A.b/1", "A.c/1"})
+    assert plan.instrumented_methods == frozenset(
+        {"A.a/1", "A.b/1", "A.c/1"})
+    assert len(plan) == 2
+
+
+def test_plan_dedupes_by_flow_identity():
+    # Same (rule, source, sink) twice — e.g. once direct, once via
+    # carrier — yields one probe.
+    flows = [_flow(carrier=False), _flow(carrier=True)]
+    plan = build_plan(flows)
+    assert len(plan.probes) == 1
+
+
+def test_plan_order_is_independent_of_flow_order():
+    flows = [
+        _flow(rule="XSS", src=("B.m/1", 1), snk=("B.m/1", 5)),
+        _flow(rule="SQLI", src=("A.m/1", 2), snk=("A.m/1", 6),
+              display="Statement.executeQuery"),
+        _flow(rule="XSS", src=("A.m/1", 1), snk=("A.m/1", 5)),
+    ]
+    forward = build_plan(flows)
+    backward = build_plan(list(reversed(flows)))
+    assert forward == backward
+    keys = [p.sort_key() for p in forward.probes]
+    assert keys == sorted(keys)
+
+
+def test_empty_plan():
+    plan = build_plan([])
+    assert plan.probes == ()
+    assert plan.source_methods == frozenset()
+    assert isinstance(plan, InstrumentationPlan)

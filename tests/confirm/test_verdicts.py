@@ -1,0 +1,69 @@
+"""Verdict records: canonical ordering, counts, serialization."""
+
+import pytest
+
+from repro.confirm import (CONFIRMED, INCONCLUSIVE, REFUTED,
+                           ConfirmationResult, FlowVerdict,
+                           canonical_verdicts)
+
+
+def _verdict(rule="XSS", source="A.m/1@1", sink="A.m/1@9",
+             verdict=CONFIRMED, reason="tainted-witness", labels=()):
+    return FlowVerdict(rule=rule, source=source, sink=sink,
+                       sink_display="PrintWriter.println",
+                       verdict=verdict, reason=reason,
+                       labels=tuple(labels))
+
+
+def test_canonical_order_is_input_order_independent():
+    verdicts = [
+        _verdict(rule="SQLI", source="B.m/1@2"),
+        _verdict(rule="XSS", source="A.m/1@7"),
+        _verdict(rule="XSS", source="A.m/1@1"),
+    ]
+    fwd = canonical_verdicts(verdicts)
+    bwd = canonical_verdicts(list(reversed(verdicts)))
+    assert fwd == bwd
+    keys = [v.sort_key() for v in fwd]
+    assert keys == sorted(keys)
+
+
+def test_canonical_dedupes_by_flow_identity():
+    out = canonical_verdicts([_verdict(), _verdict(reason="dup")])
+    assert len(out) == 1
+
+
+def test_counts_and_partitions():
+    result = ConfirmationResult(verdicts=[
+        _verdict(source="A.m/1@1"),
+        _verdict(source="A.m/1@2", verdict=REFUTED, reason="sanitized"),
+        _verdict(source="A.m/1@3", verdict=INCONCLUSIVE,
+                 reason="sink-not-reached"),
+        _verdict(source="A.m/1@4"),
+    ])
+    assert result.counts() == {"confirmed": 2, "refuted": 1,
+                               "inconclusive": 1}
+    assert len(result.confirmed) == 2
+    assert len(result.refuted) == 1
+    assert len(result.inconclusive) == 1
+
+
+def test_verdict_for_lookup():
+    verdict = _verdict()
+    result = ConfirmationResult(verdicts=[verdict])
+    assert result.verdict_for("XSS", "A.m/1@1", "A.m/1@9") is verdict
+    with pytest.raises(KeyError):
+        result.verdict_for("XSS", "A.m/1@1", "A.m/1@99")
+
+
+def test_payload_is_json_ready():
+    import json
+    result = ConfirmationResult(
+        verdicts=[_verdict(labels=("src:A.m/1@1",))],
+        seed=1, replays=2, replay_steps=42,
+        instrumented_sources=1, instrumented_sinks=1)
+    payload = result.to_payload()
+    text = json.dumps(payload)
+    assert "tainted-witness" in text
+    assert payload["counts"]["confirmed"] == 1
+    assert payload["verdicts"][0]["labels"] == ["src:A.m/1@1"]

@@ -1,0 +1,198 @@
+"""Interpreter error paths: exception labels, fault-injection mode,
+step-budget exhaustion, and partial instrumentation gating."""
+
+import pytest
+
+from repro.interp import (execute, parse_label, prepare_for_execution,
+                          run_dynamic)
+
+CATCH_APP = """
+class S extends HttpServlet {
+  void doGet(HttpServletRequest req, HttpServletResponse resp) {
+    try {
+      Statement st =
+          DriverManager.getConnection("jdbc:app").createStatement();
+      st.executeUpdate("UPDATE t SET c = 1");
+    } catch (SQLException e) {
+      resp.getWriter().println(e.getMessage());
+    }
+  }
+}
+"""
+
+SYS_APP = """
+class S extends HttpServlet {
+  void doGet(HttpServletRequest req, HttpServletResponse resp) {
+    String home = System.getProperty("user.home");
+    resp.getWriter().println(home);
+  }
+}
+"""
+
+LOOP_APP = """
+class S extends HttpServlet {
+  void doGet(HttpServletRequest req, HttpServletResponse resp) {
+    int i = 0;
+    while (i < 1000000) {
+      i = i + 1;
+    }
+    resp.getWriter().println(req.getParameter("p"));
+  }
+}
+"""
+
+THROW_APP = """
+class S extends HttpServlet {
+  void doGet(HttpServletRequest req, HttpServletResponse resp) {
+    throw new RuntimeException("boom");
+  }
+}
+"""
+
+
+# -- exception labels (exc:/sys:) ---------------------------------------------
+
+def test_catch_block_unreachable_without_fault_injection():
+    program = prepare_for_execution([CATCH_APP])
+    result = execute(program, fault_injection=False)
+    assert not result.tainted_events()
+
+
+def test_fault_injection_mints_exc_label():
+    program = prepare_for_execution([CATCH_APP])
+    result = execute(program, fault_injection=True)
+    tainted = result.tainted_events()
+    assert tainted, "the catch block runs under fault injection"
+    labels = {label for event in tainted for label in event.all_taint}
+    assert labels
+    for label in labels:
+        parsed = parse_label(label)
+        assert parsed.kind == "exc"
+        assert parsed.origin_method == "S.doGet/2"
+        assert parsed.sanitizers == frozenset()
+
+
+def test_exc_label_witnesses_only_info_leak():
+    program = prepare_for_execution([CATCH_APP])
+    result = execute(program, fault_injection=True)
+    label = next(label for event in result.tainted_events()
+                 for label in event.all_taint)
+    parsed = parse_label(label)
+    assert parsed.witnesses("INFO_LEAK", frozenset())
+    assert not parsed.witnesses("XSS", frozenset())
+    assert not parsed.witnesses("SQLI", frozenset())
+
+
+def test_system_property_mints_sys_label():
+    program = prepare_for_execution([SYS_APP])
+    result = execute(program)
+    labels = {label for event in result.tainted_events()
+              for label in event.all_taint}
+    assert labels
+    parsed = parse_label(next(iter(labels)))
+    assert parsed.kind == "sys"
+    assert parsed.witnesses("INFO_LEAK", frozenset())
+
+
+def test_run_dynamic_merges_both_modes():
+    summary = run_dynamic([CATCH_APP])
+    assert summary.confirms("INFO_LEAK", "S.doGet/2")
+    assert not summary.confirms("XSS", "S.doGet/2")
+
+
+# -- step-budget exhaustion ---------------------------------------------------
+
+def test_fuel_exhaustion_aborts_and_is_recorded():
+    program = prepare_for_execution([LOOP_APP])
+    result = execute(program, fuel=100)
+    assert result.aborted_entrypoints
+    assert result.fuel_exhausted == result.aborted_entrypoints
+    assert not result.events, "the sink after the loop never runs"
+
+
+def test_enough_fuel_reaches_the_sink():
+    program = prepare_for_execution([LOOP_APP])
+    result = execute(program, fuel=10_000_000)
+    assert not result.fuel_exhausted
+    assert result.tainted_events()
+
+
+def test_throw_aborts_without_fuel_blame():
+    program = prepare_for_execution([THROW_APP])
+    result = execute(program)
+    assert result.aborted_entrypoints
+    assert result.fuel_exhausted == []
+
+
+def test_deep_call_chain_survives_default_recursion_limit():
+    """Scaled corpus apps chain calls hundreds of frames deep; the
+    interpreter must not die on CPython's default recursion ceiling."""
+    import sys
+    depth = 600
+    methods = []
+    for i in range(depth):
+        if i + 1 < depth:
+            body = f"    C.f{i + 1}(req, resp);"
+        else:
+            body = '    resp.getWriter().println(req.getParameter("p"));'
+        methods.append(
+            "  static void f%d(HttpServletRequest req,"
+            " HttpServletResponse resp) {\n%s\n  }" % (i, body))
+    app = """
+class S extends HttpServlet {
+  void doGet(HttpServletRequest req, HttpServletResponse resp) {
+    C.f0(req, resp);
+  }
+}
+class C {
+%s
+}
+""" % "\n".join(methods)
+    program = prepare_for_execution([app])
+    before = sys.getrecursionlimit()
+    result = execute(program)
+    assert sys.getrecursionlimit() == before, "limit is restored"
+    assert not result.aborted_entrypoints
+    assert result.tainted_events()
+
+
+# -- partial instrumentation --------------------------------------------------
+
+def test_uninstrumented_source_mints_no_labels():
+    program = prepare_for_execution([SYS_APP])
+    result = execute(program, source_methods=frozenset({"Other.m/1"}))
+    assert result.events, "sinks still record (sink set is None)"
+    assert not result.tainted_events()
+
+
+def test_uninstrumented_sink_records_no_events():
+    program = prepare_for_execution([SYS_APP])
+    result = execute(program, sink_methods=frozenset({"Other.m/1"}))
+    assert not result.events
+    assert "S.doGet/2" in result.entered_methods
+
+
+def test_uninstrumented_catch_mints_no_exc_label():
+    program = prepare_for_execution([CATCH_APP])
+    result = execute(program, fault_injection=True,
+                     source_methods=frozenset({"Other.m/1"}))
+    assert not result.tainted_events()
+
+
+def test_seed_stamps_source_payloads():
+    program = prepare_for_execution([SYS_APP])
+    plain = execute(program)
+    seeded = execute(program, seed=9)
+    text = lambda run: {str(e.direct_taint) for e in run.events}
+    # Same labels (identity is the source site, not the payload) ...
+    assert text(plain) == text(seeded)
+    # ... and the run is deterministic per seed.
+    again = execute(program, seed=9)
+    assert [e.all_taint for e in seeded.events] == \
+        [e.all_taint for e in again.events]
+
+
+def test_entered_methods_records_coverage():
+    program = prepare_for_execution([SYS_APP])
+    result = execute(program)
+    assert "S.doGet/2" in result.entered_methods

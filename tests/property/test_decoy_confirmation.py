@@ -1,0 +1,72 @@
+"""Property: every statically-reported decoy is dynamically refuted.
+
+The decoy patterns (sanitize-in-place field overwrites) exploit the
+flow-insensitive weak heap update to draw a static report, but the
+replay sees the ``san=`` annotation on the witnessing label — so the
+oracle must label every decoy ``refuted``/``sanitized`` while the
+planted true positives in the same app stay ``confirmed``.
+"""
+
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.bench.generator import AppSpec, generate_app
+from repro.confirm import CONFIRMED, REFUTED, confirm_result
+from repro.core import TAJ, TAJConfig
+
+counts = st.integers(min_value=0, max_value=2)
+
+
+def small_spec(seed, field, static, sql, direct):
+    return AppSpec(
+        name="prop", seed=seed, tp_direct=direct, tp_string=0,
+        tp_map=0, tp_heap=0, tp_helper=0, tp_carrier=0, tp_sql=0,
+        tp_leak=0, sanitized=0, decoy_field=field, decoy_static=static,
+        decoy_sql=sql, trap_context=0, trap_factory=0, trap_xentry=0,
+        trap_logger=0, cold_classes=0, lib_classes=0)
+
+
+@given(field=counts, static=counts, sql=counts,
+       direct=st.integers(min_value=0, max_value=1),
+       seed=st.integers(min_value=0, max_value=10_000))
+@settings(max_examples=25, deadline=None)
+def test_every_reported_decoy_is_refuted(field, static, sql, direct,
+                                         seed):
+    assume(field + static + sql > 0)
+    app = generate_app(small_spec(seed, field, static, sql, direct))
+    result = TAJ(TAJConfig.hybrid_unbounded()).analyze_sources(
+        app.sources, deployment_descriptor=app.deployment_descriptor)
+    conf = confirm_result(result, app.sources,
+                          app.deployment_descriptor)
+
+    decoy_methods = {p.sink_method for p in app.planted if p.is_decoy}
+    reported_decoys = [v for v in conf.verdicts
+                       if v.sink.split("@")[0] in decoy_methods]
+    # The decoys exist to be statically reported: the weak-update
+    # over-approximation guarantees the flow survives the analysis.
+    assert len(reported_decoys) == field + static + sql
+    for verdict in reported_decoys:
+        assert verdict.verdict == REFUTED
+        assert verdict.reason == "sanitized"
+        assert any("san=" in label for label in verdict.labels)
+
+    # ... and refutation never bleeds into the real flows.
+    true_verdicts = [v for v in conf.verdicts
+                     if v.sink.split("@")[0] not in decoy_methods]
+    assert len(true_verdicts) == direct
+    assert all(v.verdict == CONFIRMED for v in true_verdicts)
+
+
+@given(seed=st.integers(min_value=0, max_value=10_000))
+@settings(max_examples=10, deadline=None)
+def test_decoys_are_reported_by_every_engine_config(seed):
+    """The decoy family must draw a report from each engine config —
+    otherwise the precision corpus would silently measure nothing."""
+    app = generate_app(small_spec(seed, 1, 1, 1, 0))
+    decoy_methods = {p.sink_method for p in app.planted if p.is_decoy}
+    for config in (TAJConfig.ci(), TAJConfig.hybrid_optimized(),
+                   TAJConfig.cs()):
+        result = TAJ(config).analyze_sources(
+            app.sources, deployment_descriptor=app.deployment_descriptor)
+        reported = {f.sink.method for f in result.flows}
+        assert decoy_methods <= reported

@@ -1,0 +1,36 @@
+"""Scaled corpus stays dynamically realizable.
+
+The differential harness validates unscaled specs; this sweep proves
+the property the scaling benchmarks lean on — ``scaled(10)`` grows an
+app wide (×10 entrypoints) without breaking any planted true positive.
+Every TP in every suite spec must remain confirmable by the dynamic
+interpreter, and no sanitized plant may ever produce a tainted sink
+event.
+"""
+
+import pytest
+
+from repro.bench.generator import generate_app
+from repro.bench.suite import suite_specs
+from repro.interp import run_dynamic
+
+SCALE = 10
+
+
+@pytest.mark.parametrize("name", sorted(suite_specs()))
+def test_scaled_planted_tps_stay_realizable(name):
+    spec = suite_specs()[name].scaled(SCALE)
+    app = generate_app(spec)
+    summary = run_dynamic(app.sources, app.deployment_descriptor)
+
+    tps = [p for p in app.planted if p.is_true_positive]
+    assert len(tps) >= SCALE, "scaling multiplies the planted patterns"
+    missed = [(p.kind, p.rule, p.sink_method) for p in tps
+              if not summary.confirms(p.rule, p.sink_method)]
+    assert not missed, f"unrealizable after scaling: {missed[:5]}"
+
+    sanitized = [p for p in app.planted
+                 if not p.is_true_positive and not p.is_decoy]
+    for plant in sanitized:
+        assert not summary.confirms(plant.rule, plant.sink_method), \
+            f"sanitized plant dynamically confirmed: {plant.sink_method}"
