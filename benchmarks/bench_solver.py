@@ -18,6 +18,12 @@ Two entry points:
   securibench reductions meet the 25% bar.
 * **pytest-benchmark** — ``pytest benchmarks/bench_solver.py`` measures
   the optimised kernel and asserts differential equivalence.
+
+``--ledger FILE`` additionally appends one ``kind="bench"`` run-ledger
+record (:mod:`repro.obs.ledger`): per-suite optimized walls as the
+"phases", the deterministic work counters, and the host fingerprint.
+The regression sentinel (``benchmarks/regression.py``) diffs the newest
+record against the accumulated history.
 """
 
 from __future__ import annotations
@@ -38,6 +44,8 @@ from repro.bench.micro import MICRO_CASES, MOTIVATING, cyclic_stress
 from repro.bench.securibench import CASES
 from repro.bench.harness import write_bench_json
 from repro.bounds import Budget
+from repro.obs.ledger import (append_record, corpus_hash, make_record,
+                              sha256_fingerprint)
 from repro.modeling import default_natives, prepare
 from repro.obs import Observability
 from repro.pointer import (ChaoticOrder, ContextPolicy, PointerAnalysis,
@@ -220,6 +228,44 @@ def run_bench(quick: bool = False,
     return payload
 
 
+def ledger_record(payload: Dict, quick: bool, repeats: int,
+                  commit: str = None) -> Dict:
+    """One ``kind="bench"`` run-ledger record for a suite sweep.
+
+    The "phases" are the per-suite optimized walls (plus the serial
+    parallel-taint sweep wall), so the sentinel names the regressed
+    *suite*; the counters are the deterministic work measures, gated
+    regardless of host.
+    """
+    phases: Dict[str, float] = {}
+    counters: Dict[str, float] = {}
+    complete = True
+    for name, m in payload["suites"].items():
+        phases[f"suite.{name}"] = m["optimized"]["wall_s"]
+        counters[f"{name}.propagations"] = \
+            m["optimized"]["propagations"]
+        counters[f"{name}.edges"] = m["optimized"]["edges"]
+        complete = complete and m["completeness"] == "complete"
+    par = payload.get("parallel_taint")
+    if par:
+        phases["taint.serial_sweep"] = par["jobs1_wall_s"]
+        counters["taint.flows"] = par["flows"]
+    sources = [src for programs in suite_sources(quick).values()
+               for srcs in programs for src in srcs]
+    return make_record(
+        kind="bench",
+        config_name="bench_solver" + ("-quick" if quick else ""),
+        fingerprint=sha256_fingerprint({"quick": quick,
+                                        "repeats": repeats}),
+        corpus={"hash": corpus_hash(sources), "files": len(sources)},
+        phases=phases,
+        seconds=sum(phases.values()),
+        counters=counters,
+        completeness="complete" if complete else "partial-budget",
+        commit=commit,
+    )
+
+
 def format_summary(payload: Dict) -> str:
     lines = [f"{'suite':<12}{'programs':>9}{'seed(s)':>9}{'opt(s)':>8}"
              f"{'reduction':>11}{'props seed':>12}{'props opt':>11}"
@@ -290,6 +336,13 @@ def main(argv=None) -> int:
     parser.add_argument("--check", action="store_true",
                         help="fail unless micro+securibench meet the "
                              f"{TARGET_REDUCTION:.0f}%% reduction bar")
+    parser.add_argument("--ledger", metavar="FILE",
+                        help="append one kind=\"bench\" run-ledger "
+                             "record (JSONL); diff history with "
+                             "benchmarks/regression.py")
+    parser.add_argument("--commit", metavar="SHA",
+                        help="VCS commit id recorded in the ledger "
+                             "entry")
     args = parser.parse_args(argv)
     if args.repeats < 1:
         parser.error("--repeats must be >= 1")
@@ -308,6 +361,12 @@ def main(argv=None) -> int:
             payload.setdefault(key, value)
     write_bench_json(args.out, payload)
     print(f"\nwrote {args.out}")
+    if args.ledger:
+        append_record(args.ledger,
+                      ledger_record(payload, quick=args.quick,
+                                    repeats=args.repeats,
+                                    commit=args.commit))
+        print(f"appended ledger record to {args.ledger}")
 
     if args.check:
         failed = [name for name in ("micro", "securibench")

@@ -1,0 +1,44 @@
+"""The CI regression sentinel over the committed bench ledger.
+
+Thin entry point around :mod:`repro.obs.compare`: diff the newest
+``BENCH_ledger.jsonl`` entry against the last-*k* comparable records
+with noise-aware (median + MAD) thresholds, name the regressed phase
+or counter, and exit non-zero under ``--check``.
+
+    PYTHONPATH=src python benchmarks/bench_solver.py --repeats 1 \
+        --ledger BENCH_ledger.jsonl        # append a fresh entry
+    PYTHONPATH=src python benchmarks/regression.py --check
+
+Wall-clock gates apply only when the newest record's host fingerprint
+matches the whole baseline window (``--wall auto``, the default) — on
+a CI runner with a different core count / python than the committed
+baseline, only the deterministic work counters are gated.  See
+``docs/observability.md``.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+if str(REPO_ROOT / "src") not in sys.path:  # script mode
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.obs.compare import main as compare_main
+
+DEFAULT_LEDGER = REPO_ROOT / "BENCH_ledger.jsonl"
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    # Every flag is repro.obs.compare's; the only addition is the
+    # default ledger path (the committed repo-root history).
+    if not argv or argv[0].startswith("-"):
+        argv.insert(0, str(DEFAULT_LEDGER))
+    return compare_main(argv)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -14,7 +14,11 @@ Observability (``docs/observability.md``): ``--trace`` writes a Chrome
 flavor), ``--metrics`` a metrics-registry snapshot (counters, timer
 percentiles, peak-memory gauges), ``--audit`` the per-flow provenance
 audit, and ``--stats`` prints the solver kernel counters plus the
-registry summary table.
+registry summary table.  ``--profile`` samples the run with the
+phase-attributed profiler and writes a collapsed-stack flamegraph
+file, ``--ledger`` appends one run-ledger record (diff history with
+``python -m repro.obs.compare``), and ``--progress`` prints a live
+heartbeat line to stderr while the analysis runs.
 """
 
 from __future__ import annotations
@@ -27,7 +31,8 @@ from typing import Dict, List, Optional
 from .core import TAJ, TAJConfig
 from .lang import lower_sources, parse
 from .lang.errors import SourceError
-from .obs import (Observability, write_audit_json, write_chrome_trace,
+from .obs import (Observability, append_record, record_from_result,
+                  write_audit_json, write_chrome_trace, write_collapsed,
                   write_metrics_json, write_spans_jsonl)
 from .reporting import render_metrics_table, render_text
 from .taint import default_rules, extended_rules
@@ -94,6 +99,26 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--audit", metavar="FILE",
                         help="write the flow-provenance audit as JSON "
                              "(witness chain per reported flow)")
+    parser.add_argument("--profile", metavar="FILE",
+                        help="sample the run with the phase-attributed "
+                             "profiler and write the collapsed-stack "
+                             "file (render with flamegraph.pl)")
+    parser.add_argument("--profile-interval", type=float,
+                        default=0.004, metavar="SECONDS",
+                        help="profiler sampling interval "
+                             "(default 0.004)")
+    parser.add_argument("--ledger", metavar="FILE",
+                        help="append one run-ledger record (JSONL) for "
+                             "this analysis; diff run history with "
+                             "'python -m repro.obs.compare FILE'")
+    parser.add_argument("--commit", metavar="SHA",
+                        help="VCS commit id to record in the ledger "
+                             "entry (the ledger never shells out to "
+                             "git itself)")
+    parser.add_argument("--progress", action="store_true",
+                        help="print a live heartbeat line (phase, "
+                             "worklist depth, rule/shard progress) to "
+                             "stderr once per second")
     parser.add_argument("--max-cg-nodes", type=int, metavar="N",
                         help="override the call-graph node budget")
     parser.add_argument("--flow-length", type=int, metavar="N",
@@ -191,11 +216,16 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.confirm:
         config = config.with_confirm(fuel=args.confirm_fuel,
                                      seed=args.confirm_seed)
+    if args.profile:
+        config = config.with_profile(interval=args.profile_interval)
     rules = extended_rules() if args.rules == "extended" \
         else default_rules()
 
     obs = Observability(audit=args.audit is not None,
-                        memory=args.metrics is not None)
+                        memory=args.metrics is not None,
+                        progress=args.progress)
+    if args.progress:
+        obs.progress.start()
     try:
         result = TAJ(config, rules=rules, obs=obs).analyze_sources(
             sources, deployment_descriptor=descriptor)
@@ -208,6 +238,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         print("analysis failed: broken input (use --keep-going to "
               "quarantine broken files)", file=sys.stderr)
         return 2
+    finally:
+        obs.progress.stop()
 
     for diag in result.diagnostics:
         prefix = ""
@@ -226,6 +258,12 @@ def main(argv: Optional[List[str]] = None) -> int:
         write_metrics_json(result.metrics, args.metrics)
     if args.audit:
         write_audit_json(obs.audit, args.audit)
+    if args.profile and obs.profiler is not None:
+        write_collapsed(obs.profiler.data, args.profile)
+    if args.ledger:
+        append_record(args.ledger,
+                      record_from_result(result, config, sources,
+                                         commit=args.commit))
 
     if args.sarif:
         from .reporting import render_sarif
@@ -251,6 +289,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             payload["confirmation"] = result.confirmation.to_payload()
         if args.stats:
             payload["stats"] = result.solver_stats()
+        if result.profile is not None:
+            payload["profile"] = result.profile
         print(json.dumps(payload, indent=2))
     else:
         if result.report is not None:
@@ -293,6 +333,14 @@ def main(argv: Optional[List[str]] = None) -> int:
                     print(f"  {name:<26} {value}")
             print()
             print(render_metrics_table(result.metrics))
+        if args.stats and result.profile is not None:
+            prof = result.profile
+            print(f"\nprofile ({prof['samples']} samples @ "
+                  f"{prof['interval_seconds']}s):")
+            for name, seconds in prof["phase_self_seconds"].items():
+                print(f"  {name:<26} {seconds:.3f}s")
+            for name, seconds in prof["hot_loop_seconds"].items():
+                print(f"  [hot] {name:<20} {seconds:.3f}s")
 
     if args.dynamic:
         from .interp import run_dynamic

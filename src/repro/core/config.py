@@ -88,6 +88,16 @@ class TAJConfig:
     # Payload seed mixed into every source value during replay, making
     # verdicts a deterministic function of (program, seed, fault mode).
     confirm_seed: int = 1
+    # Phase-attributed sampling profiler (repro.obs.profile,
+    # docs/observability.md): when enabled the facade installs a
+    # profiler on the run's observability bundle, pool workers profile
+    # their shards, and the merged collapsed-stack data lands in
+    # ``TAJResult.profile`` (CLI ``--profile FILE`` writes the
+    # flamegraph-renderable file).  Off by default: profiling never
+    # changes reports, only adds measurement.
+    profile: bool = False
+    # Sampling interval in seconds (shared by parent and pool workers).
+    profile_interval: float = 0.004
 
     def with_budget(self, **kwargs) -> "TAJConfig":
         budget = self.budget.copy()
@@ -109,6 +119,13 @@ class TAJConfig:
         verdict (``TAJResult.confirmation``)."""
         return replace(self, confirm=confirm, confirm_fuel=fuel,
                        confirm_seed=seed)
+
+    def with_profile(self, profile: bool = True,
+                     interval: float = 0.004) -> "TAJConfig":
+        """This configuration with the sampling profiler enabled: the
+        run's phase-attributed collapsed-stack profile lands in
+        ``TAJResult.profile`` (docs/observability.md)."""
+        return replace(self, profile=profile, profile_interval=interval)
 
     def with_jobs(self, jobs: int, shard_grain: str = "auto",
                   start_method: Optional[str] = None) -> "TAJConfig":

@@ -77,6 +77,10 @@ class TAJResult:
     # Under a degraded ("partial-*") run only the surviving flows are
     # confirmed — a verdict never resurrects a dropped flow.
     confirmation: Optional[ConfirmationResult] = None
+    # Sampling-profiler summary (repro.obs.profile): phase self-times,
+    # hot-loop attribution, and top leaf functions; ``None`` unless the
+    # run carried a profiler (``TAJConfig.profile`` / CLI ``--profile``).
+    profile: Optional[Dict[str, object]] = None
 
     def solver_stats(self) -> Dict[str, float]:
         """The pointer-solver kernel's counters and phase times.

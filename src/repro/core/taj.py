@@ -81,6 +81,7 @@ class TAJ:
                         ) -> TAJResult:
         """Model + analyze jlang application sources."""
         obs = self._resolve_obs(obs)
+        self._start_profiler(obs)
         res = self._make_resilience()
         try:
             with obs.tracer.span("phase.modeling",
@@ -128,6 +129,7 @@ class TAJ:
         """
         config = self.config
         obs = self._resolve_obs(obs)
+        self._start_profiler(obs)
         tracer = obs.tracer
         res = resilience or self._make_resilience()
         armed = res if res.active else None
@@ -283,6 +285,20 @@ class TAJ:
 
     # -- internals ----------------------------------------------------------------
 
+    def _start_profiler(self, obs: Observability) -> None:
+        """Install (config-driven) and start the sampling profiler on
+        the run's bundle.  Idempotent: the analyze_sources →
+        analyze_prepared path calls it twice; one profiler runs."""
+        if getattr(obs, "profiler", None) is None:
+            if not self.config.profile or not obs.enabled:
+                return
+            from ..obs import SamplingProfiler
+            obs.profiler = SamplingProfiler(
+                interval=self.config.profile_interval,
+                tracer=obs.tracer)
+        if not obs.profiler.running:
+            obs.profiler.start()
+
     def _make_resilience(self) -> ResilienceContext:
         config = self.config
         deadline = None
@@ -321,6 +337,11 @@ class TAJ:
             metrics.gauge("resilience.deadline_remaining_seconds",
                           round(remaining, 6))
         obs.finish()
+        profiler = getattr(obs, "profiler", None)
+        if profiler is not None:
+            if profiler.running:
+                profiler.stop()
+            result.profile = profiler.payload()
         result.metrics = metrics.snapshot()
         result.provenance = obs.audit.to_payload()
         return result

@@ -31,19 +31,29 @@ from typing import Dict, Optional, Union
 from .export import (chrome_trace_events, span_dicts, write_audit_json,
                      write_chrome_trace, write_metrics_json,
                      write_spans_jsonl)
+from .ledger import (LedgerError, append_record, comparable_records,
+                     config_fingerprint, corpus_hash, host_fingerprint,
+                     read_ledger, record_from_result)
 from .metrics import (Histogram, MetricsRegistry, NULL_REGISTRY,
                       NullMetricsRegistry, percentile)
+from .profile import (ProfileData, SamplingProfiler, profile_shard,
+                      write_collapsed)
+from .progress import NULL_PROGRESS, NullProgress, Progress
 from .provenance import (FlowWitness, NULL_AUDIT, NullProvenanceAudit,
                          ProvenanceAudit, RuleConsultation)
 from .tracer import NULL_TRACER, NullTracer, Span, Tracer
 
 __all__ = [
-    "DISABLED", "FlowWitness", "Histogram", "MetricsRegistry",
-    "NullMetricsRegistry", "NullProvenanceAudit", "NullTracer",
-    "Observability", "ProvenanceAudit", "RuleConsultation", "Span",
-    "Tracer", "chrome_trace_events", "percentile", "span_dicts",
-    "write_audit_json", "write_chrome_trace", "write_metrics_json",
-    "write_spans_jsonl",
+    "DISABLED", "FlowWitness", "Histogram", "LedgerError",
+    "MetricsRegistry", "NullMetricsRegistry", "NullProgress",
+    "NullProvenanceAudit", "NullTracer", "Observability", "ProfileData",
+    "Progress", "ProvenanceAudit", "RuleConsultation",
+    "SamplingProfiler", "Span", "Tracer", "append_record",
+    "chrome_trace_events", "comparable_records", "config_fingerprint",
+    "corpus_hash", "host_fingerprint", "percentile", "profile_shard",
+    "read_ledger", "record_from_result", "span_dicts",
+    "write_audit_json", "write_chrome_trace", "write_collapsed",
+    "write_metrics_json", "write_spans_jsonl",
 ]
 
 
@@ -51,12 +61,14 @@ class Observability:
     """Tracer + metrics registry + provenance audit, as one handle.
 
     The default construction enables the tracer and the registry (both
-    cheap at the pipeline's phase/pass/rule granularity); the audit and
-    memory sampling are opt-in::
+    cheap at the pipeline's phase/pass/rule granularity); the audit,
+    memory sampling, the sampling profiler, and the progress heartbeat
+    are opt-in::
 
-        obs = Observability(audit=True, memory=True)
+        obs = Observability(audit=True, memory=True, profile=True)
         result = TAJ(config, obs=obs).analyze_sources([source])
         write_chrome_trace(obs.tracer, "trace.json")
+        write_collapsed(obs.profiler.data, "profile.collapsed")
     """
 
     enabled = True
@@ -65,7 +77,9 @@ class Observability:
                  tracer: Optional[Tracer] = None,
                  metrics: Optional[MetricsRegistry] = None,
                  audit: Union[bool, ProvenanceAudit] = False,
-                 memory: bool = False) -> None:
+                 memory: bool = False,
+                 profile: Union[bool, SamplingProfiler] = False,
+                 progress: Union[bool, Progress] = False) -> None:
         self.tracer = Tracer() if tracer is None else tracer
         self.metrics = MetricsRegistry() if metrics is None else metrics
         if audit is True:
@@ -74,6 +88,28 @@ class Observability:
             self.audit = audit
         else:
             self.audit = NULL_AUDIT
+        # Phase-attributed sampling profiler (repro.obs.profile): the
+        # facade starts/stops it around each pipeline run.
+        if profile is True:
+            self.profiler: Optional[SamplingProfiler] = \
+                SamplingProfiler(tracer=self.tracer)
+        elif profile:
+            self.profiler = profile
+            if self.profiler.tracer is None:
+                self.profiler.tracer = self.tracer
+        else:
+            self.profiler = None
+        # Live progress heartbeat (repro.obs.progress): seams update
+        # it; the CLI's --progress starts the printing thread.
+        if progress is True:
+            self.progress: Union[Progress, NullProgress] = \
+                Progress(tracer=self.tracer)
+        elif progress:
+            self.progress = progress
+            if getattr(self.progress, "tracer", None) is None:
+                self.progress.tracer = self.tracer
+        else:
+            self.progress = NULL_PROGRESS
         self._memory = memory
         self._owns_tracemalloc = False
         if memory and not tracemalloc.is_tracing():
@@ -116,6 +152,8 @@ class _DisabledObservability:
         self.tracer = NULL_TRACER
         self.metrics = NULL_REGISTRY
         self.audit = NULL_AUDIT
+        self.profiler = None
+        self.progress = NULL_PROGRESS
 
     def span(self, name: str, **attrs: object):
         return self.tracer.span(name)

@@ -5,6 +5,13 @@ Two trace formats:
 * **JSONL** — one span per line (pre-order), each a flat object with
   ``name/start_s/end_s/duration_s/depth/parent/attrs``.  Easy to grep
   and to diff across runs.
+
+A span still open at export time (a fault- or deadline-aborted run
+unwinding past its context managers) is rendered with its
+duration-so-far and an explicit ``"incomplete": true`` marker — never
+silently as a zero-duration interval.  Attribute values that are not
+JSON primitives are coerced to strings in both formats, so an exporter
+never crashes on an attached object.
 * **Chrome trace-event** — the ``chrome://tracing`` / Perfetto format:
   an object with a ``traceEvents`` array of complete (``"ph": "X"``)
   events with microsecond ``ts``/``dur``.  Load a written file directly
@@ -22,18 +29,26 @@ from typing import Dict, List
 
 
 def span_dicts(tracer) -> List[Dict]:
-    """Flat pre-order dicts for every span in the tracer."""
+    """Flat pre-order dicts for every span in the tracer.
+
+    An unclosed span (``end is None``) renders its duration-so-far with
+    ``end_s = start_s + duration_s`` and ``"incomplete": true``."""
     out: List[Dict] = []
     for span, depth in tracer.iter_spans():
-        out.append({
+        duration = span.duration
+        row = {
             "name": span.name,
             "start_s": span.start,
-            "end_s": span.end if span.end is not None else span.start,
-            "duration_s": span.duration,
+            "end_s": span.end if span.end is not None
+            else span.start + duration,
+            "duration_s": duration,
             "depth": depth,
             "parent": span.parent.name if span.parent is not None else None,
-            "attrs": dict(span.attrs),
-        })
+            "attrs": _jsonable(span.attrs),
+        }
+        if span.end is None:
+            row["incomplete"] = True
+        out.append(row)
     return out
 
 
@@ -56,6 +71,9 @@ def chrome_trace_events(tracer) -> List[Dict]:
     base = min(span.start for span, _ in spans)
     events: List[Dict] = []
     for span, _depth in spans:
+        args = _jsonable(span.attrs)
+        if span.end is None:
+            args["incomplete"] = True
         events.append({
             "name": span.name,
             "cat": "taj",
@@ -64,7 +82,7 @@ def chrome_trace_events(tracer) -> List[Dict]:
             "dur": round(span.duration * 1e6, 3),
             "pid": 1,
             "tid": 1,
-            "args": _jsonable(span.attrs),
+            "args": args,
         })
     return events
 

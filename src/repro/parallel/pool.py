@@ -66,17 +66,26 @@ class PersistentWorkerPool:
             initargs=(snapshot.blob,))
         self.startup_seconds = time.perf_counter() - started
 
-    def run_shards(self, count: int) -> List:
+    def run_shards(self, count: int, on_outcome=None) -> List:
         """Run shards ``0..count-1``; outcomes return in shard order
         regardless of completion order.  A worker exception (a fault
         with no resilience context, mirroring the serial path) is
-        re-raised after the remaining futures are cancelled."""
+        re-raised after the remaining futures are cancelled.
+
+        ``on_outcome``, when given, is called as
+        ``on_outcome(done_count, total)`` after each completion — a
+        progress hook (completion order, so for display only; it must
+        not influence the merge)."""
         futures = {self._pool.submit(_run_shard, index): index
                    for index in range(count)}
         outcomes: List = [None] * count
+        done = 0
         try:
             for future in as_completed(futures):
                 outcomes[futures[future]] = future.result()
+                done += 1
+                if on_outcome is not None:
+                    on_outcome(done, count)
         except BaseException:
             for future in futures:
                 future.cancel()

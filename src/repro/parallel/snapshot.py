@@ -51,6 +51,11 @@ class EngineSnapshot:
             "resilience": engine.resilience,
             "shards": shards,
             "collect_metrics": collect_metrics,
+            # When the parent run carries a sampling profiler, workers
+            # profile their shards at the same interval and ship the
+            # samples home on the outcome (POSIX itimers are not
+            # inherited across fork, so each worker installs its own).
+            "profile_interval": _profile_interval(engine),
         }
         try:
             # The instance-key table rides first so bit positions
@@ -62,6 +67,15 @@ class EngineSnapshot:
             raise SnapshotError(str(exc)) from exc
         self.nbytes = len(self.blob)
         self.build_seconds = time.perf_counter() - started
+
+
+def _profile_interval(engine) -> Optional[float]:
+    """The parent profiler's sampling interval, or ``None`` when the
+    run is not being profiled."""
+    profiler = getattr(engine.obs, "profiler", None)
+    if profiler is None or not getattr(profiler, "running", False):
+        return None
+    return profiler.interval
 
 
 class WorkerContext:
@@ -81,6 +95,7 @@ class WorkerContext:
             strategy=state["strategy"])
         self.shards = state["shards"]
         self.collect_metrics = state["collect_metrics"]
+        self.profile_interval = state.get("profile_interval")
         # The shipped context is the pristine template; every shard
         # gets a fresh copy so ladder/fault/deadline bookkeeping is a
         # function of the shard alone, not of which worker ran what
@@ -122,8 +137,16 @@ class WorkerContext:
         if shard.groups is not None:
             seeds = self._seeds_for(shard.rule_index, shard.groups)
         rule = self._rules[shard.rule_index]
-        outcome = self.engine._slice_shard(shard, rule, seeds,
-                                           self.collect_metrics)
+        from ..obs.profile import profile_shard
+        profiler = profile_shard(self.profile_interval)
+        try:
+            outcome = self.engine._slice_shard(shard, rule, seeds,
+                                               self.collect_metrics)
+        finally:
+            if profiler is not None:
+                profiler.stop()
+        if profiler is not None:
+            outcome.profile = profiler.data
         shard_res = self.engine.resilience
         if (shard_res is not None and shard_res.deadline is not None
                 and shard_res.deadline.tripped):

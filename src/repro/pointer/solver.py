@@ -188,6 +188,9 @@ class PointerAnalysis:
         clock = time.perf_counter
         self._solve_started = clock()
         resilience = self.resilience
+        progress = getattr(self.obs, "progress", None)
+        if progress is not None and not progress.enabled:
+            progress = None
         while True:
             if self._budget_met():
                 self.truncated = True
@@ -218,6 +221,9 @@ class PointerAnalysis:
             solved = clock()
             self.phase_seconds["constraint_adding"] += added - started
             self.phase_seconds["constraint_solving"] += solved - added
+            if progress is not None:
+                progress.update(cg_nodes=len(self.call_graph.nodes),
+                                worklist=self._worklist_peak)
         # Residual suspects below the batch threshold: collapse at the
         # end so discovered cycles are merged in the final solution (a
         # merge can re-pend owed facts, whose propagation may in turn

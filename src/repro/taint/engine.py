@@ -112,6 +112,10 @@ class ShardOutcome:
     started: float = 0.0
     duration: float = 0.0
     metrics: Optional[MetricsRegistry] = None
+    # Collapsed-stack samples from the worker's shard profiler
+    # (repro.obs.profile.ProfileData), shipped home so serial and
+    # parallel runs both end with one merged whole-pipeline profile.
+    profile: Optional[object] = None
     # Pool bookkeeping: which worker process ran the shard, and the
     # one-time snapshot-deserialization cost if this was that worker's
     # first shard (0.0 on every later shard — the persistence signal).
@@ -241,6 +245,10 @@ class TaintEngine:
         # form everything downstream (grouping, JSON, differential
         # harness) consumes.
         result.flows = canonical_flows(result.flows)
+        progress = getattr(self.obs, "progress", None)
+        if progress is not None:
+            progress.update(flows=len(result.flows))
+            progress.clear("rule", "rules", "shards")
         metrics = self.obs.metrics
         metrics.inc("taint.rules_consulted", len(rules))
         metrics.inc("taint.flows", len(result.flows))
@@ -269,9 +277,13 @@ class TaintEngine:
             # CS's upfront channel charge can exhaust the budget before
             # the first rule runs.
             strategy, slicer = self._recover(result, strategy, exc)
+        progress = getattr(obs, "progress", None)
         index = 0
         while slicer is not None and index < len(rules):
             rule = rules[index]
+            if progress is not None:
+                progress.update(rule=rule.name,
+                                rules=f"{index + 1}/{len(rules)}")
             try:
                 if res is not None:
                     res.check(f"slicing.{strategy}", phase="taint")
@@ -398,9 +410,23 @@ class TaintEngine:
             # aborted span keeps its auto-recorded ``error`` attr.
             start_span.set(fallback="serial")
             return self._run_serial(rules)
+        profiler = getattr(obs, "profiler", None)
+        progress = getattr(obs, "progress", None)
+        on_outcome = None
+        if progress is not None:
+            progress.update(shards=f"0/{len(shards)}")
+            on_outcome = (lambda done, total:
+                          progress.update(shards=f"{done}/{total}"))
         try:
-            outcomes = pool.run_shards(len(shards))
+            if profiler is not None and profiler.running:
+                # Workers profile their own shards; the parent would
+                # otherwise attribute its pool-wait frames to the taint
+                # phase and double-count the shard work.
+                profiler.pause()
+            outcomes = pool.run_shards(len(shards), on_outcome=on_outcome)
         finally:
+            if profiler is not None and profiler.running:
+                profiler.resume()
             pool.shutdown()
         merge_started = time.perf_counter()
         result = self._merge_outcomes(rules, outcomes)
@@ -439,6 +465,7 @@ class TaintEngine:
         obs = self.obs
         tracer = obs.tracer
         audit = obs.audit
+        profiler = getattr(obs, "profiler", None)
         res = self.resilience
         result = TaintResult()
         result.final_strategy = self.strategy
@@ -473,6 +500,8 @@ class TaintEngine:
             for out in outs:
                 if out.metrics is not None:
                     obs.metrics.merge(out.metrics)
+                if out.profile is not None and profiler is not None:
+                    profiler.absorb(out.profile)
             obs.metrics.record_time("taint.rule_seconds", duration)
             obs.metrics.record_value("taint.rule_flows", len(flows))
             if result.failed:

@@ -1,0 +1,170 @@
+"""Regression sentinel: thresholds, wall gating, CLI entry point."""
+
+import json
+
+import pytest
+
+from repro.obs.compare import (Comparison, compare, compare_ledger,
+                               main as compare_main, render)
+from repro.obs.ledger import append_record, make_record
+
+
+def _record(taint=0.10, modeling=0.05, propagations=1000, flows=5,
+            **overrides):
+    base = dict(kind="analysis", config_name="hybrid-optimized",
+                fingerprint="abcd" * 4,
+                corpus={"hash": "beef" * 4, "files": 3},
+                phases={"taint": taint, "modeling": modeling},
+                seconds=taint + modeling,
+                counters={"pointer.propagations": propagations,
+                          "taint.flows": flows})
+    base.update(overrides)
+    return make_record(**base)
+
+
+def test_steady_history_is_ok():
+    baseline = [_record(taint=t) for t in (0.10, 0.11, 0.09, 0.10)]
+    comparison = compare(_record(taint=0.105), baseline)
+    assert comparison.ok
+    assert comparison.wall_gated
+    metrics = {f.metric for f in comparison.findings}
+    assert {"phase.taint", "phase.modeling", "seconds",
+            "counter.pointer.propagations",
+            "counter.taint.flows"} <= metrics
+
+
+def test_injected_2x_phase_slowdown_is_flagged_and_named():
+    """Acceptance: a 2x slowdown injected into one phase trips the
+    sentinel, and the finding names that phase."""
+    baseline = [_record(taint=t) for t in (0.10, 0.11, 0.09, 0.10,
+                                           0.105)]
+    comparison = compare(_record(taint=0.20), baseline)
+    assert not comparison.ok
+    flagged = [f.metric for f in comparison.regressions]
+    # The per-phase diff names the culprit (the total trips too; the
+    # untouched phase and the counters do not).
+    assert "phase.taint" in flagged
+    assert "phase.modeling" not in flagged
+    assert not any(metric.startswith("counter.") for metric in flagged)
+    assert "phase.taint" in render(comparison)
+
+
+def test_counter_regression_is_flagged_even_without_wall_gates():
+    baseline = [_record() for _ in range(3)]
+    comparison = compare(_record(propagations=1200), baseline,
+                         wall=False)
+    assert not comparison.wall_gated
+    assert [f.metric for f in comparison.regressions] == \
+        ["counter.pointer.propagations"]
+    # +10% exactly is the threshold edge, not a regression; noise
+    # below it never trips.
+    assert compare(_record(propagations=1100), baseline, wall=False).ok
+
+
+def test_mad_band_tolerates_noisy_baselines():
+    # Noisy window: median 0.10, MAD 0.02 -> threshold well above the
+    # ratio floor, so a value inside the noise band passes.
+    baseline = [_record(taint=t) for t in (0.06, 0.08, 0.10, 0.12,
+                                           0.14)]
+    assert compare(_record(taint=0.155), baseline).ok
+
+
+def test_min_abs_floor_protects_microsecond_phases():
+    baseline = [_record(modeling=0.0002) for _ in range(4)]
+    # 5x relative, but under the +10ms absolute floor: jitter, not
+    # signal.
+    comparison = compare(_record(modeling=0.001), baseline)
+    flagged = [f.metric for f in comparison.regressions]
+    assert "phase.modeling" not in flagged
+
+
+def _write_ledger(tmp_path, records):
+    tmp_path.mkdir(parents=True, exist_ok=True)
+    path = tmp_path / "ledger.jsonl"
+    for record in records:
+        append_record(str(path), record)
+    return str(path)
+
+
+def test_compare_ledger_insufficient_history(tmp_path):
+    path = _write_ledger(tmp_path, [_record(), _record()])
+    comparison = compare_ledger(path)
+    assert comparison.ok
+    assert "insufficient history" in comparison.skipped_reason
+    assert comparison.findings == []
+
+
+def test_compare_ledger_empty(tmp_path):
+    path = tmp_path / "ledger.jsonl"
+    path.write_text("")
+    comparison = compare_ledger(str(path))
+    assert comparison.ok and comparison.skipped_reason == "empty ledger"
+
+
+def test_compare_ledger_flags_newest_against_window(tmp_path):
+    records = [_record(taint=t) for t in (0.10, 0.11, 0.09, 0.10)]
+    records.append(_record(taint=0.25))
+    comparison = compare_ledger(_write_ledger(tmp_path, records),
+                                wall="on")
+    assert not comparison.ok
+    flagged = {f.metric for f in comparison.regressions}
+    assert "phase.taint" in flagged
+
+
+def test_compare_ledger_auto_skips_wall_on_foreign_host(tmp_path):
+    records = [_record(taint=0.10) for _ in range(3)]
+    for record in records:
+        record["host"] = {"python": "9.9", "cores": 64,
+                          "platform": "plan9"}
+    records.append(_record(taint=0.50))   # 5x — but host differs
+    comparison = compare_ledger(_write_ledger(tmp_path, records))
+    assert comparison.ok                  # counters still pass
+    assert not comparison.wall_gated
+    assert "host fingerprint differs" in comparison.skipped_reason
+    # Forcing the gates on flags it.
+    assert not compare_ledger(_write_ledger(tmp_path, records),
+                              wall="on").ok
+
+
+def test_compare_ledger_ignores_incomparable_records(tmp_path):
+    foreign = _record(taint=9.0, fingerprint="ffff" * 4)
+    records = [foreign, _record(taint=0.10), _record(taint=0.11),
+               _record(taint=0.10)]
+    comparison = compare_ledger(_write_ledger(tmp_path, records),
+                                wall="on")
+    assert comparison.baseline_size == 2
+    assert comparison.ok
+
+
+def test_cli_check_exit_codes(tmp_path, capsys):
+    steady = [_record(taint=t) for t in (0.10, 0.11, 0.09, 0.10)]
+    ok_path = _write_ledger(tmp_path / "ok", steady + [_record(0.105)])
+    assert compare_main([ok_path, "--check", "--wall", "on"]) == 0
+    bad_path = _write_ledger(tmp_path / "bad", steady + [_record(0.30)])
+    assert compare_main([bad_path, "--check", "--wall", "on"]) == 1
+    out = capsys.readouterr().out
+    assert "REGRESSED" in out and "phase.taint" in out
+
+
+def test_cli_json_output(tmp_path, capsys):
+    records = [_record() for _ in range(3)] + [_record(taint=0.5)]
+    path = _write_ledger(tmp_path, records)
+    assert compare_main([path, "--json", "--wall", "on"]) == 0  # no --check
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["regressions"] == ["phase.taint", "seconds"]
+    assert payload["baseline_size"] == 3
+
+
+def test_comparison_payload_round_trips():
+    comparison = compare(_record(taint=0.2),
+                         [_record(taint=0.1) for _ in range(3)])
+    payload = comparison.to_payload()
+    json.dumps(payload)
+    assert payload["wall_gated"] is True
+    assert "phase.taint" in payload["regressions"]
+    assert isinstance(Comparison(**{
+        "baseline_size": payload["baseline_size"],
+        "wall_gated": payload["wall_gated"],
+        "skipped_reason": payload["skipped_reason"],
+        "findings": [],
+    }), Comparison)

@@ -2,6 +2,8 @@
 
 import json
 
+import pytest
+
 from repro.obs import (Tracer, chrome_trace_events, span_dicts,
                        write_chrome_trace, write_metrics_json,
                        write_spans_jsonl)
@@ -86,3 +88,68 @@ def test_write_metrics_json_round_trip(tmp_path):
                 "timers": {}, "histograms": {}}
     write_metrics_json(snapshot, str(path))
     assert json.loads(path.read_text()) == snapshot
+
+
+# -- edge cases ---------------------------------------------------------------
+
+def test_empty_tracer_writes_valid_files(tmp_path):
+    """A run that dies before its first span still exports cleanly."""
+    tracer = Tracer()
+    assert span_dicts(tracer) == []
+    jsonl = tmp_path / "spans.jsonl"
+    assert write_spans_jsonl(tracer, str(jsonl)) == 0
+    assert jsonl.read_text() == ""
+    trace = tmp_path / "trace.json"
+    assert write_chrome_trace(tracer, str(trace)) == 0
+    payload = json.loads(trace.read_text())
+    assert payload["traceEvents"] == []
+
+
+def _abandoned_tracer():
+    """A tracer whose outer span was never closed (aborted run)."""
+    tracer = Tracer()
+    outer = tracer.span("phase.taint", rule="XSS")
+    outer.__enter__()
+    with tracer.span("taint.rule"):
+        pass
+    return tracer
+
+
+def test_unclosed_span_is_marked_incomplete(tmp_path):
+    rows = span_dicts(_abandoned_tracer())
+    outer, inner = rows
+    assert outer["name"] == "phase.taint"
+    assert outer["incomplete"] is True
+    assert outer["duration_s"] >= 0.0
+    # end_s is synthesized from the duration-so-far, never left stale.
+    assert outer["end_s"] == pytest.approx(
+        outer["start_s"] + outer["duration_s"])
+    assert "incomplete" not in inner
+
+    path = tmp_path / "spans.jsonl"
+    write_spans_jsonl(_abandoned_tracer(), str(path))
+    first = json.loads(path.read_text().splitlines()[0])
+    assert first["incomplete"] is True
+
+
+def test_unclosed_span_marks_chrome_event_args():
+    events = chrome_trace_events(_abandoned_tracer())
+    by_name = {e["name"]: e for e in events}
+    assert by_name["phase.taint"]["args"]["incomplete"] is True
+    assert by_name["phase.taint"]["dur"] >= 0.0
+    assert "incomplete" not in by_name["taint.rule"]["args"]
+    json.dumps(events)
+
+
+def test_non_json_safe_attrs_survive_jsonl_export(tmp_path):
+    tracer = Tracer()
+    with tracer.span("phase.sdg", nodes=frozenset({1}), fn=len,
+                     ok=True, none=None):
+        pass
+    path = tmp_path / "spans.jsonl"
+    assert write_spans_jsonl(tracer, str(path)) == 1
+    row = json.loads(path.read_text())
+    assert row["attrs"]["ok"] is True
+    assert row["attrs"]["none"] is None
+    assert isinstance(row["attrs"]["nodes"], str)
+    assert isinstance(row["attrs"]["fn"], str)

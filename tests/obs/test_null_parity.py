@@ -1,0 +1,80 @@
+"""API parity: every Null* stand-in exposes exactly the public methods
+of its real counterpart, so disabled-mode code paths can never hit an
+``AttributeError`` that enabled-mode would not."""
+
+import inspect
+
+import pytest
+
+from repro.obs.metrics import MetricsRegistry, NullMetricsRegistry
+from repro.obs.progress import NullProgress, Progress
+from repro.obs.provenance import NullProvenanceAudit, ProvenanceAudit
+from repro.obs.tracer import (NullTracer, Span, Tracer, _NullSpan)
+
+PAIRS = [
+    (Tracer, NullTracer),
+    (MetricsRegistry, NullMetricsRegistry),
+    (ProvenanceAudit, NullProvenanceAudit),
+    (Progress, NullProgress),
+]
+
+
+def _public_methods(cls):
+    return {name for name, member in inspect.getmembers(cls)
+            if callable(member) and not name.startswith("_")}
+
+
+def _public_signature(cls, name):
+    try:
+        return inspect.signature(getattr(cls, name))
+    except (TypeError, ValueError):  # pragma: no cover - C callables
+        return None
+
+
+@pytest.mark.parametrize("real,null", PAIRS,
+                         ids=[real.__name__ for real, _ in PAIRS])
+def test_null_counterpart_mirrors_public_methods(real, null):
+    real_api = _public_methods(real)
+    null_api = _public_methods(null)
+    assert null_api == real_api, (
+        f"{null.__name__} diverges from {real.__name__}: "
+        f"missing={sorted(real_api - null_api)}, "
+        f"extra={sorted(null_api - real_api)}")
+
+
+@pytest.mark.parametrize("real,null", PAIRS,
+                         ids=[real.__name__ for real, _ in PAIRS])
+def test_null_counterpart_accepts_the_same_arguments(real, null):
+    """Same parameter names per method (self-bound signatures), so any
+    enabled-mode call site compiles against the null object too."""
+    for name in _public_methods(real):
+        real_sig = _public_signature(real, name)
+        null_sig = _public_signature(null, name)
+        if real_sig is None or null_sig is None:
+            continue
+        assert list(null_sig.parameters) == list(real_sig.parameters), \
+            f"{null.__name__}.{name}{null_sig} != " \
+            f"{real.__name__}.{name}{real_sig}"
+
+
+@pytest.mark.parametrize("real,null", PAIRS,
+                         ids=[real.__name__ for real, _ in PAIRS])
+def test_enabled_flag_discriminates(real, null):
+    assert real.enabled is True
+    assert null.enabled is False
+
+
+def test_null_span_mirrors_span_surface():
+    """Spans pair structurally: every public attr/method of Span exists
+    on the shared null span (slots-based, so compare the declared
+    surface, not instance dicts)."""
+    span_api = {name for name in Span.__slots__
+                if not name.startswith("_")}
+    span_api |= _public_methods(Span) | {"duration"}
+    for name in span_api:
+        assert hasattr(_NullSpan, name), f"_NullSpan missing {name!r}"
+    # And both work as context managers returning themselves.
+    null_span = _NullSpan()
+    with null_span as inner:
+        assert inner is null_span
+    assert null_span.set(x=1) is null_span

@@ -1,0 +1,105 @@
+"""Progress heartbeat: field state, rendering, thread, null mode."""
+
+import io
+import time
+
+import pytest
+
+from repro.bench.securibench import CASES
+from repro.core import TAJ, TAJConfig
+from repro.obs import Observability
+from repro.obs.progress import NULL_PROGRESS, NullProgress, Progress
+from repro.obs.tracer import Tracer
+
+
+def test_update_and_clear_fields():
+    progress = Progress(stream=io.StringIO())
+    progress.update(worklist=12, rule="XSS")
+    progress.update(worklist=9)
+    assert progress.fields == {"worklist": 9, "rule": "XSS"}
+    progress.clear("rule", "never-set")
+    assert progress.fields == {"worklist": 9}
+
+
+def test_render_line_orders_known_fields_first():
+    progress = Progress(stream=io.StringIO())
+    progress.update(zebra=1, flows=3, worklist=7)
+    line = progress.render_line()
+    assert line.startswith("[taj ")
+    assert line.index("worklist=7") < line.index("flows=3") < \
+        line.index("zebra=1")
+
+
+def test_current_phase_reads_outermost_open_span():
+    tracer = Tracer()
+    progress = Progress(stream=io.StringIO(), tracer=tracer)
+    assert progress.current_phase() is None
+    with tracer.span("phase.pointer_analysis"):
+        with tracer.span("pointer.constraint_solving"):
+            assert progress.current_phase() == "pointer_analysis"
+    assert progress.current_phase() is None
+    assert "phase=" not in progress.render_line()
+
+
+def test_heartbeat_thread_emits_lines():
+    stream = io.StringIO()
+    progress = Progress(stream=stream, interval=0.01)
+    progress.update(rule="XSS")
+    with progress:
+        time.sleep(0.08)
+    assert progress.beats >= 2
+    lines = stream.getvalue().splitlines()
+    assert lines and all(line.startswith("[taj ") for line in lines)
+    assert any("rule=XSS" in line for line in lines)
+    # stop() is idempotent and start() restarts cleanly.
+    progress.stop()
+    progress.start()
+    progress.stop()
+
+
+def test_rejects_nonpositive_interval():
+    with pytest.raises(ValueError):
+        Progress(stream=io.StringIO(), interval=0.0)
+
+
+def test_null_progress_is_inert():
+    NULL_PROGRESS.update(worklist=1)
+    NULL_PROGRESS.clear("worklist")
+    assert NULL_PROGRESS.fields == {}
+    assert NULL_PROGRESS.render_line() == ""
+    assert NULL_PROGRESS.current_phase() is None
+    assert not NULL_PROGRESS.enabled
+    with NULL_PROGRESS as same:
+        assert same is NULL_PROGRESS
+    NULL_PROGRESS.emit()
+    assert NULL_PROGRESS.beats == 0
+    assert isinstance(NULL_PROGRESS, NullProgress)
+
+
+def test_pipeline_seams_populate_progress_fields():
+    """The solver and the taint sweep publish their progress through
+    the bundle; a run leaves the transient fields cleared."""
+    sources = [src for group in CASES.values()
+               for src, _truth in group.values()][:4]
+    stream = io.StringIO()
+    progress = Progress(stream=stream, interval=0.005)
+    obs = Observability(progress=progress)
+    seen = {}
+
+    original = progress.update
+
+    def spy(**fields):
+        seen.update(fields)
+        original(**fields)
+
+    progress.update = spy
+    with progress:
+        TAJ(TAJConfig.hybrid_optimized(), obs=obs) \
+            .analyze_sources(sources)
+    assert "worklist" in seen and "cg_nodes" in seen  # solver seam
+    assert "rule" in seen and "rules" in seen         # taint seam
+    assert "flows" in seen
+    # Transient sweep fields are cleared once the sweep ends.
+    assert "rule" not in progress.fields
+    assert progress.beats >= 1
+    assert "[taj " in stream.getvalue()
