@@ -1,0 +1,199 @@
+"""Chaos sweep: every crash mode of the parallel sweep must recover.
+
+Runs the real CLI (in-process) over the securibench corpus once serial
+— the reference report — then once per crash scenario with ``--jobs 2``
+and a scripted ``--fault-plan`` (repro.resilience.faults, process
+seams), and enforces the crash-recovery contract of
+``docs/robustness.md``:
+
+* a crash the supervisor can absorb (a bounded kill, a hang, a corrupt
+  outcome payload, a dead pool initializer) ends with a report
+  **byte-identical** to serial, betrayed only by the supervision
+  counters (``taint.pool.retries`` / ``restarts`` / ``hangs`` /
+  ``corrupt_outcomes`` / ``quarantined``);
+* a shard that kills its worker on *every* attempt is abandoned
+  honestly: the run completes with ``completeness == "partial-crash"``
+  and a per-shard ``worker-crash`` diagnostic — never a raised
+  ``BrokenProcessPool``;
+* either way the exit code is the ordinary report code (0 clean,
+  1 issues/partial, 2 failed) — crashes never leak a traceback.
+
+Scenarios: ``kill-once`` (SIGKILL, one retry), ``kill-always``
+(poison shard → honest abandonment), ``hang-once`` (watchdog SIGKILL +
+retry, via ``--hang-seconds``), ``corrupt-once`` (bad payload, one
+retry), ``corrupt-always`` (poison → parent serial re-run, still
+byte-identical), ``init-kill-always`` (every pool initializer dies →
+restart budget exhausted → whole plan re-run serially in the parent,
+still byte-identical).
+
+    PYTHONPATH=src python benchmarks/chaos.py [--check] [--jobs N]
+
+``--check`` (the CI job) additionally enforces a hard wall-clock guard
+(default 120 s) — supervision must converge by backoff and watchdog,
+not by waiting out worker hangs.  Exit 0 when every scenario holds,
+1 otherwise.
+"""
+
+from __future__ import annotations
+
+import argparse
+import contextlib
+import io
+import json
+import sys
+import tempfile
+import time
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+if str(REPO_ROOT / "src") not in sys.path:  # script mode
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.bench.securibench import CASES
+from repro.cli import main as cli_main
+
+# (name, fault rows, extra CLI args, byte-identical?, expected
+# completeness, counters that must be >= 1).  ``at: 0`` pins the first
+# shard; ``at: -1`` matches every ordinal; ``attempts: -1`` keeps
+# crashing on every retry.
+SCENARIOS: List[Tuple[str, List[Dict], List[str], bool, str,
+                      Tuple[str, ...]]] = [
+    ("kill-once",
+     [{"seam": "worker.shard", "at": 0, "action": "kill-worker",
+       "attempts": 1}],
+     [], True, "complete",
+     ("taint.pool.retries", "taint.pool.restarts")),
+    ("kill-always",
+     [{"seam": "worker.shard", "at": 0, "action": "kill-worker",
+       "attempts": -1}],
+     [], False, "partial-crash",
+     ("taint.pool.quarantined",)),
+    ("hang-once",
+     [{"seam": "worker.shard", "at": 0, "action": "hang-worker",
+       "attempts": 1}],
+     ["--hang-seconds", "1.0"], True, "complete",
+     ("taint.pool.hangs", "taint.pool.retries")),
+    ("corrupt-once",
+     [{"seam": "worker.shard", "at": 0, "action": "corrupt-outcome",
+       "attempts": 1}],
+     [], True, "complete",
+     ("taint.pool.corrupt_outcomes", "taint.pool.retries")),
+    ("corrupt-always",
+     [{"seam": "worker.shard", "at": 0, "action": "corrupt-outcome",
+       "attempts": -1}],
+     [], True, "complete",
+     ("taint.pool.corrupt_outcomes", "taint.pool.quarantined")),
+    ("init-kill-always",
+     [{"seam": "worker.init", "at": -1, "action": "kill-worker",
+       "attempts": -1}],
+     [], True, "complete",
+     ("taint.pool.restarts", "taint.pool.quarantined")),
+]
+
+
+def run_cli(argv):
+    out = io.StringIO()
+    with contextlib.redirect_stdout(out), \
+            contextlib.redirect_stderr(io.StringIO()):
+        code = cli_main(argv)
+    return code, out.getvalue()
+
+
+def normalize_json(text: str) -> str:
+    payload = json.loads(text)
+    payload.pop("seconds", None)
+    return json.dumps(payload, indent=2, sort_keys=True)
+
+
+def run_scenario(name, rows, extra, identical, completeness, counters,
+                 tmp: Path, base: List[str], jobs: int,
+                 reference: str) -> List[str]:
+    """One crash scenario; returns its contract violations."""
+    plan = tmp / f"{name}.json"
+    plan.write_text(json.dumps(rows), encoding="utf-8")
+    metrics = tmp / f"{name}-metrics.json"
+    try:
+        code, report = run_cli(["--json", "--jobs", str(jobs),
+                                "--fault-plan", str(plan),
+                                "--metrics", str(metrics)]
+                               + extra + base)
+    except Exception as exc:  # the contract: crashes never raise
+        return [f"{name}: crash leaked out of the CLI: "
+                f"{type(exc).__name__}: {exc}"]
+    errors: List[str] = []
+    payload = json.loads(report)
+    if payload.get("completeness") != completeness:
+        errors.append(f"{name}: completeness "
+                      f"{payload.get('completeness')!r}, expected "
+                      f"{completeness!r}")
+    if identical and normalize_json(report) != reference:
+        errors.append(f"{name}: report diverged from serial despite a "
+                      f"recoverable crash")
+    if not identical:
+        diags = [d for d in payload.get("diagnostics", [])
+                 if d.get("kind") == "worker-crash"]
+        if not diags:
+            errors.append(f"{name}: abandoned shard left no "
+                          f"worker-crash diagnostic")
+    if code == 2:
+        errors.append(f"{name}: exit code 2 — the run claims to have "
+                      f"failed outright")
+    snapshot = json.loads(metrics.read_text(encoding="utf-8"))
+    have = snapshot.get("counters", {})
+    missing = [counter for counter in counters if not have.get(counter)]
+    if missing:
+        errors.append(f"{name}: supervision counters {missing} absent "
+                      f"— the intervention is invisible to the "
+                      f"regression sentinel")
+    return errors
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Assert every pool crash mode recovers "
+                    "byte-identically or degrades honestly.")
+    parser.add_argument("--jobs", type=int, default=2,
+                        help="pool fan-out under fault (default 2)")
+    parser.add_argument("--check", action="store_true",
+                        help="CI mode: also enforce the wall-clock "
+                             "guard")
+    parser.add_argument("--wall-guard", type=float, default=120.0,
+                        help="hard wall-clock budget for the whole "
+                             "sweep under --check (default 120s)")
+    args = parser.parse_args(argv)
+
+    sources = [src for cat in CASES.values() for src, _ in cat.values()]
+    started = time.monotonic()
+    failures: List[str] = []
+    with tempfile.TemporaryDirectory() as tmpname:
+        tmp = Path(tmpname)
+        corpus = tmp / "securibench.jlang"
+        corpus.write_text("\n".join(sources), encoding="utf-8")
+        base = ["--rules", "extended", str(corpus)]
+        ref_code, ref_report = run_cli(["--json"] + base)
+        reference = normalize_json(ref_report)
+        for name, rows, extra, identical, completeness, counters \
+                in SCENARIOS:
+            errors = run_scenario(name, rows, extra, identical,
+                                  completeness, counters, tmp, base,
+                                  args.jobs, reference)
+            failures.extend(errors)
+            print(f"  {name}: {'FAIL' if errors else 'ok'}")
+    elapsed = time.monotonic() - started
+    if args.check and elapsed > args.wall_guard:
+        failures.append(f"wall-clock guard blown: {elapsed:.1f}s > "
+                        f"{args.wall_guard:.0f}s — supervision is not "
+                        f"converging by backoff/watchdog")
+    for failure in failures:
+        print(f"FAIL: {failure}")
+    if failures:
+        return 1
+    print(f"OK: {len(SCENARIOS)} crash modes recovered or degraded "
+          f"honestly in {elapsed:.1f}s (--jobs {args.jobs}, "
+          f"{len(sources)} servlets)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -144,6 +144,36 @@ def build_parser() -> argparse.ArgumentParser:
                              "when semantics-preserving, 'rule' keeps "
                              "whole-rule shards, 'entrypoint' forces "
                              "the fine grain (only with --jobs > 1)")
+    parser.add_argument("--checkpoint", metavar="DIR",
+                        help="journal completed shards of the parallel "
+                             "sweep under DIR; an interrupted run "
+                             "restarted with the same DIR re-executes "
+                             "only unfinished shards (--jobs > 1; "
+                             "foreign/corrupt checkpoints are detected "
+                             "and discarded, docs/robustness.md)")
+    parser.add_argument("--max-shard-retries", type=int, default=2,
+                        metavar="N",
+                        help="failed attempts a shard may accumulate "
+                             "before it is quarantined to a serial "
+                             "in-parent re-run (default 2)")
+    parser.add_argument("--max-pool-restarts", type=int, default=3,
+                        metavar="N",
+                        help="worker-pool rebuilds the run may spend on "
+                             "crashes before quarantining every pending "
+                             "shard (default 3)")
+    parser.add_argument("--hang-seconds", type=float, metavar="SECONDS",
+                        help="watchdog threshold: SIGKILL and retry a "
+                             "worker whose shard has been in flight "
+                             "this long (default: 4x the --deadline; "
+                             "no deadline = watchdog off)")
+    parser.add_argument("--fault-plan", metavar="FILE",
+                        help="inject the scripted fault plan (JSON list "
+                             "of {seam, at, action, ...} objects, "
+                             "docs/robustness.md) into the run; exit "
+                             "codes report the outcome as usual: 0 = "
+                             "complete and clean, 1 = issues found or a "
+                             "partial-* verdict (an absorbed fault), "
+                             "2 = the run failed")
     return parser
 
 
@@ -213,11 +243,29 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.jobs != 1:
         config = config.with_jobs(args.jobs,
                                   shard_grain=args.shard_grain)
+    if args.checkpoint:
+        config = config.with_checkpoint(args.checkpoint)
+    if (args.max_shard_retries, args.max_pool_restarts,
+            args.hang_seconds) != (2, 3, None):
+        config = config.with_supervision(
+            max_shard_retries=args.max_shard_retries,
+            max_pool_restarts=args.max_pool_restarts,
+            hang_seconds=args.hang_seconds)
     if args.confirm:
         config = config.with_confirm(fuel=args.confirm_fuel,
                                      seed=args.confirm_seed)
     if args.profile:
         config = config.with_profile(interval=args.profile_interval)
+    plan = None
+    if args.fault_plan:
+        from .resilience import FaultPlan
+        try:
+            with open(args.fault_plan, encoding="utf-8") as handle:
+                plan = FaultPlan.from_json(handle.read())
+        except (OSError, ValueError, KeyError, TypeError) as exc:
+            print(f"invalid fault plan {args.fault_plan}: {exc}",
+                  file=sys.stderr)
+            return 2
     rules = extended_rules() if args.rules == "extended" \
         else default_rules()
 
@@ -227,7 +275,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.progress:
         obs.progress.start()
     try:
-        result = TAJ(config, rules=rules, obs=obs).analyze_sources(
+        result = TAJ(config, rules=rules, obs=obs,
+                     faults=plan).analyze_sources(
             sources, deployment_descriptor=descriptor)
     except SourceError:
         # Strict mode (no --keep-going): a broken source aborts the

@@ -78,6 +78,23 @@ class TAJConfig:
     # Multiprocessing start method for the pool (None = fork when
     # available, else spawn); the snapshot protocol supports both.
     start_method: Optional[str] = None
+    # Crash supervision for the pool (repro.parallel.supervisor,
+    # docs/robustness.md): failed attempts a shard may accumulate
+    # beyond its first before it is quarantined to a serial parent
+    # re-run, and pool rebuilds the run may spend before every pending
+    # shard is quarantined wholesale.
+    max_shard_retries: int = 2
+    max_pool_restarts: int = 3
+    # Hang watchdog: a shard in flight longer than ``hang_seconds``
+    # (explicit) or ``hang_multiple`` × the deadline gets its worker
+    # SIGKILLed and is retried.  Neither set (no deadline, no explicit
+    # seconds) = watchdog off.
+    hang_multiple: float = 4.0
+    hang_seconds: Optional[float] = None
+    # Opt-in shard checkpoint journal (``--checkpoint DIR``,
+    # repro.parallel.checkpoint): an interrupted parallel sweep resumes
+    # re-running only unfinished shards.  None = off.
+    checkpoint_dir: Optional[str] = None
     # Dynamic flow confirmation (repro.confirm, docs/validation.md):
     # after reporting, replay the program with partial instrumentation
     # derived from each flow's witness chain and attach per-flow
@@ -134,6 +151,23 @@ class TAJConfig:
         or the multiprocessing start method."""
         return replace(self, jobs=max(1, jobs), shard_grain=shard_grain,
                        start_method=start_method)
+
+    def with_supervision(self, max_shard_retries: int = 2,
+                         max_pool_restarts: int = 3,
+                         hang_multiple: float = 4.0,
+                         hang_seconds: Optional[float] = None) \
+            -> "TAJConfig":
+        """This configuration with explicit crash-supervision knobs for
+        the parallel sweep (docs/robustness.md)."""
+        return replace(self, max_shard_retries=max_shard_retries,
+                       max_pool_restarts=max_pool_restarts,
+                       hang_multiple=hang_multiple,
+                       hang_seconds=hang_seconds)
+
+    def with_checkpoint(self, directory: Optional[str]) -> "TAJConfig":
+        """This configuration journaling completed shards under
+        ``directory`` so an interrupted parallel sweep can resume."""
+        return replace(self, checkpoint_dir=directory)
 
     # -- the five Table 1 presets ------------------------------------------
 

@@ -210,7 +210,10 @@ class TAJ:
                                      strategy=config.slicing, obs=obs,
                                      resilience=armed, jobs=config.jobs,
                                      shard_grain=config.shard_grain,
-                                     start_method=config.start_method)
+                                     start_method=config.start_method,
+                                     supervision=self._supervision(),
+                                     checkpoint=self._checkpoint(
+                                         confirm_sources))
                 taint = engine.run()
                 span.set(flows=len(taint.flows), failed=taint.failed)
         except Exception as exc:
@@ -298,6 +301,44 @@ class TAJ:
                 tracer=obs.tracer)
         if not obs.profiler.running:
             obs.profiler.start()
+
+    def _supervision(self):
+        """The pool-supervision policy from the config's knobs (None
+        when every knob is at its default — the engine then uses the
+        package defaults, keeping the snapshot unchanged)."""
+        config = self.config
+        if (config.max_shard_retries, config.max_pool_restarts,
+                config.hang_multiple, config.hang_seconds) \
+                == (2, 3, 4.0, None):
+            return None
+        from ..parallel import SupervisionPolicy
+        return SupervisionPolicy(
+            max_shard_retries=config.max_shard_retries,
+            max_pool_restarts=config.max_pool_restarts,
+            hang_multiple=config.hang_multiple,
+            hang_seconds=config.hang_seconds)
+
+    def _checkpoint(self, sources: Optional[List[str]]):
+        """The shard checkpoint journal when ``--checkpoint`` is set.
+
+        The identity fingerprint covers every config knob, the corpus,
+        and the rule names — a journal written by any other analysis is
+        foreign and discarded.  Requires the raw sources (the corpus
+        half of the identity), so ``analyze_prepared`` called without
+        them never checkpoints."""
+        config = self.config
+        if (config.checkpoint_dir is None or config.jobs <= 1
+                or sources is None):
+            return None
+        from ..obs.ledger import (config_fingerprint, corpus_hash,
+                                  sha256_fingerprint)
+        from ..parallel import CheckpointJournal
+        fingerprint = sha256_fingerprint({
+            "config": config_fingerprint(config),
+            "corpus": corpus_hash(sources),
+            "rules": sorted(rule.name for rule in self.rules),
+        })
+        return CheckpointJournal(config.checkpoint_dir, fingerprint)
 
     def _make_resilience(self) -> ResilienceContext:
         config = self.config

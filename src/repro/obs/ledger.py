@@ -44,12 +44,18 @@ from typing import Dict, Iterable, List, Optional
 LEDGER_SCHEMA = 1
 
 # Counters copied from a metrics snapshot into ``record["counters"]``:
-# deterministic work measures, comparable across hosts.
+# deterministic work measures, comparable across hosts.  The
+# ``taint.pool.*`` supervision counters are deterministic under a
+# scripted fault plan (benchmarks/fault_injection.py rows record them),
+# and present only when supervision actually intervened — so the
+# sentinel gates them exactly when the scenario says they must appear.
 WORK_COUNTERS = (
     "pointer.propagations", "pointer.edges", "pointer.nodes_processed",
     "pointer.cycles_collapsed", "pointer.keys_merged",
     "taint.rules_consulted", "taint.flows",
     "taint.suppressed_by_length", "report.issues",
+    "taint.pool.retries", "taint.pool.restarts",
+    "taint.pool.quarantined",
 )
 
 
@@ -190,27 +196,47 @@ def append_record(path: str, record: Dict) -> None:
 def read_ledger(path: str) -> List[Dict]:
     """All records, oldest first.  Blank lines are skipped; a
     malformed line or an unknown schema raises :class:`LedgerError`
-    naming the line number."""
+    naming the line number.
+
+    Crash tolerance: a malformed **final** line with no terminating
+    newline is a partial append — the writer (or its host) died mid
+    ``write``.  That record never finished existing, so it is skipped
+    with a :class:`UserWarning` naming ``path:lineno`` instead of
+    poisoning the whole ledger; every *terminated* line must still
+    parse.  The checkpoint journal
+    (:mod:`repro.parallel.checkpoint`) leans on exactly this tolerance
+    to survive interruption at any byte."""
     records: List[Dict] = []
     with open(path, encoding="utf-8") as handle:
-        for lineno, line in enumerate(handle, start=1):
-            line = line.strip()
-            if not line:
+        text = handle.read()
+    lines = text.split("\n")
+    # A trailing newline yields a final empty element; its absence
+    # means the last line was never terminated (crash-truncated).
+    truncated_tail = lines[-1].strip() != ""
+    for lineno, line in enumerate(lines, start=1):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            record = json.loads(line)
+        except ValueError as exc:
+            if truncated_tail and lineno == len(lines):
+                import warnings
+                warnings.warn(
+                    f"{path}:{lineno}: skipping crash-truncated "
+                    f"partial record: {exc}")
                 continue
-            try:
-                record = json.loads(line)
-            except ValueError as exc:
-                raise LedgerError(
-                    f"{path}:{lineno}: malformed record: {exc}") from exc
-            if not isinstance(record, dict):
-                raise LedgerError(
-                    f"{path}:{lineno}: record is not an object")
-            if record.get("schema") != LEDGER_SCHEMA:
-                raise LedgerError(
-                    f"{path}:{lineno}: unsupported ledger schema "
-                    f"{record.get('schema')!r} "
-                    f"(expected {LEDGER_SCHEMA})")
-            records.append(record)
+            raise LedgerError(
+                f"{path}:{lineno}: malformed record: {exc}") from exc
+        if not isinstance(record, dict):
+            raise LedgerError(
+                f"{path}:{lineno}: record is not an object")
+        if record.get("schema") != LEDGER_SCHEMA:
+            raise LedgerError(
+                f"{path}:{lineno}: unsupported ledger schema "
+                f"{record.get('schema')!r} "
+                f"(expected {LEDGER_SCHEMA})")
+        records.append(record)
     return records
 
 

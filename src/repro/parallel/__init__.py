@@ -10,19 +10,31 @@
   key table, bitset points-to, SDG) shipped to each worker at startup,
   under any multiprocessing start method;
 * :mod:`.pool` — the executor wrapper: dynamic dispatch of shard
-  indices, deterministic (shard-ordered) outcome collection.
+  indices, deterministic (shard-ordered) outcome collection;
+* :mod:`.supervisor` — crash supervision: heartbeat watchdog, pool
+  rebuild with backoff, shard retry budgets, poison-shard quarantine —
+  what keeps one dead worker from killing the run;
+* :mod:`.checkpoint` — the opt-in on-disk shard journal behind
+  ``--checkpoint``: an interrupted sweep resumes re-running only the
+  shards it never finished.
 
 The taint engine (:mod:`repro.taint.engine`) is the only intended
 consumer; ``docs/performance.md`` ("When parallelism pays") describes
-the architecture and its cost model.
+the architecture and its cost model, ``docs/robustness.md`` the
+supervision and checkpoint semantics.
 """
 
+from .checkpoint import CheckpointJournal, plan_fingerprint
 from .pool import PersistentWorkerPool, pick_start_method
 from .shards import GRAINS, Shard, plan_shards, splittable
-from .snapshot import EngineSnapshot, SnapshotError, WorkerContext
+from .snapshot import (EngineSnapshot, SnapshotError, WorkerContext,
+                       WorkerInitError)
+from .supervisor import PoolSupervisor, SupervisionPolicy, SupervisionStats
 
 __all__ = [
-    "EngineSnapshot", "GRAINS", "PersistentWorkerPool", "Shard",
-    "SnapshotError", "WorkerContext", "pick_start_method", "plan_shards",
-    "splittable",
+    "CheckpointJournal", "EngineSnapshot", "GRAINS",
+    "PersistentWorkerPool", "PoolSupervisor", "Shard", "SnapshotError",
+    "SupervisionPolicy", "SupervisionStats", "WorkerContext",
+    "WorkerInitError", "pick_start_method", "plan_fingerprint",
+    "plan_shards", "splittable",
 ]

@@ -1,0 +1,193 @@
+"""The opt-in shard checkpoint journal behind ``--checkpoint DIR``.
+
+A parallel sweep over a big corpus can die halfway — machine reboot,
+OOM kill of the *parent*, an operator ^C.  Cooperative resilience and
+pool supervision can't help with that: the process that held the
+partial results is gone.  The journal makes the results outlive it:
+every completed :class:`~repro.taint.engine.ShardOutcome` is appended
+to ``shards.jsonl`` (the outcome pickled with the snapshot protocol —
+interned keys re-intern on load exactly as they do crossing a worker
+boundary — then base64-wrapped into one JSON line), and a restarted run
+re-executes only the shards with no journaled outcome.
+
+Safety model — a checkpoint must never change *what* is computed, only
+*whether* it is recomputed:
+
+* ``meta.json`` pins a **fingerprint** (config knobs + corpus hash +
+  rule names, built by the caller from :mod:`repro.obs.ledger`
+  primitives) and a **plan hash** (the exact shard list).  A journal
+  written by any other analysis — different sources, different knobs,
+  different shard plan — is *foreign*: detected, discarded, and
+  restarted from scratch rather than trusted.
+* Appends are atomic at line granularity (one ``write`` of one
+  newline-terminated line, same discipline as the run ledger); a
+  parent killed mid-append leaves a truncated final line the reader
+  skips (the tolerance contract of
+  :func:`repro.obs.ledger.read_ledger`).
+* A record that fails to unpickle is dropped (its shard simply
+  re-runs); corruption can cost time, never correctness.
+
+Only *completed* outcomes are journaled: a failed or degraded shard
+re-runs on resume, so a transient crash in run 1 does not become a
+permanent degradation replayed into every later run.
+"""
+
+from __future__ import annotations
+
+import base64
+import binascii
+import json
+import os
+import pickle
+from typing import Dict, List, Optional
+
+from ..obs.ledger import sha256_fingerprint
+
+CHECKPOINT_SCHEMA = 1
+META_NAME = "meta.json"
+SHARDS_NAME = "shards.jsonl"
+
+
+def plan_fingerprint(shards: List) -> str:
+    """Digest of the shard plan: shard count, per-shard rule and seed
+    groups.  Any change to planning (grain, shards-per-rule, rule set)
+    moves it, so a resumed run can never stitch outcomes from one plan
+    into another."""
+    return sha256_fingerprint([
+        [shard.index, shard.rule_index, shard.rule,
+         list(shard.groups) if shard.groups is not None else None]
+        for shard in shards])
+
+
+class CheckpointJournal:
+    """One journal directory for one (config, corpus, rules) identity.
+
+    Protocol: construct with the identity fingerprint, call
+    :meth:`resume` with the current plan to learn which shards are
+    already done, then :meth:`record` each fresh completed outcome.
+    """
+
+    def __init__(self, directory: str, fingerprint: str) -> None:
+        self.directory = directory
+        self.fingerprint = fingerprint
+        self.meta_path = os.path.join(directory, META_NAME)
+        self.shards_path = os.path.join(directory, SHARDS_NAME)
+        # Resume diagnostics, surfaced via taint.pool.* counters and
+        # the chaos harness.
+        self.resumed = 0
+        self.skipped = 0
+        self.reset_reason: Optional[str] = None
+        os.makedirs(directory, exist_ok=True)
+
+    # -- resume --------------------------------------------------------------
+
+    def resume(self, plan_hash: str, count: int) -> Dict[int, object]:
+        """Outcomes journaled by a compatible previous run, keyed by
+        shard index.  An absent, foreign, or corrupt journal resets the
+        directory and returns ``{}`` — a full run, never a wrong one."""
+        meta = self._load_meta()
+        if meta is None:
+            self._reset(plan_hash, count)
+            return {}
+        if (meta.get("schema") != CHECKPOINT_SCHEMA
+                or meta.get("fingerprint") != self.fingerprint
+                or meta.get("plan_hash") != plan_hash
+                or meta.get("count") != count):
+            self.reset_reason = (
+                "foreign checkpoint (fingerprint/plan mismatch)"
+                if meta.get("schema") == CHECKPOINT_SCHEMA
+                else f"unsupported checkpoint schema {meta.get('schema')!r}")
+            self._reset(plan_hash, count)
+            return {}
+        outcomes: Dict[int, object] = {}
+        for row in self._read_rows():
+            index = row.get("index")
+            blob = row.get("blob")
+            if not isinstance(index, int) or not (0 <= index < count) \
+                    or not isinstance(blob, str):
+                self.skipped += 1
+                continue
+            try:
+                outcome = pickle.loads(
+                    base64.b64decode(blob.encode("ascii")))
+            except (binascii.Error, pickle.UnpicklingError, EOFError,
+                    AttributeError, ImportError, IndexError,
+                    MemoryError, TypeError, ValueError):
+                # Undecodable record: this shard just re-runs.
+                self.skipped += 1
+                continue
+            if getattr(outcome, "index", None) != index \
+                    or not getattr(outcome, "completed", False):
+                self.skipped += 1
+                continue
+            outcomes[index] = outcome
+        self.resumed = len(outcomes)
+        return outcomes
+
+    def _load_meta(self) -> Optional[Dict]:
+        try:
+            with open(self.meta_path, encoding="utf-8") as handle:
+                meta = json.load(handle)
+        except (OSError, ValueError):
+            return None
+        return meta if isinstance(meta, dict) else None
+
+    def _read_rows(self) -> List[Dict]:
+        """Journal rows, with the run-ledger tail tolerance: a crash
+        mid-append leaves an unterminated final line, which never
+        finished existing and is skipped."""
+        try:
+            with open(self.shards_path, encoding="utf-8") as handle:
+                text = handle.read()
+        except OSError:
+            return []
+        rows: List[Dict] = []
+        lines = text.split("\n")
+        truncated_tail = lines[-1].strip() != ""
+        for lineno, line in enumerate(lines, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                row = json.loads(line)
+            except ValueError:
+                if not (truncated_tail and lineno == len(lines)):
+                    self.skipped += 1
+                continue
+            if isinstance(row, dict) \
+                    and row.get("schema") == CHECKPOINT_SCHEMA:
+                rows.append(row)
+            else:
+                self.skipped += 1
+        return rows
+
+    def _reset(self, plan_hash: str, count: int) -> None:
+        for path in (self.shards_path,):
+            try:
+                os.remove(path)
+            except OSError:
+                pass
+        meta = {"schema": CHECKPOINT_SCHEMA,
+                "fingerprint": self.fingerprint,
+                "plan_hash": plan_hash, "count": count}
+        with open(self.meta_path, "w", encoding="utf-8") as handle:
+            json.dump(meta, handle, sort_keys=True)
+            handle.write("\n")
+
+    # -- append --------------------------------------------------------------
+
+    def record(self, outcome) -> None:
+        """Journal one completed outcome (one atomic line append).
+        Incomplete/failed outcomes are not journaled — they must re-run
+        on resume."""
+        if not getattr(outcome, "completed", False):
+            return
+        blob = base64.b64encode(
+            pickle.dumps(outcome,
+                         protocol=pickle.HIGHEST_PROTOCOL)).decode("ascii")
+        line = json.dumps({"schema": CHECKPOINT_SCHEMA,
+                           "index": outcome.index, "blob": blob},
+                          sort_keys=True)
+        with open(self.shards_path, "a", encoding="utf-8") as handle:
+            handle.write(line + "\n")
+            handle.flush()

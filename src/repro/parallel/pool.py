@@ -13,29 +13,67 @@ Start methods: ``fork`` is preferred (snapshot deserialization against
 an inherited intern table is an identity re-intern), but the snapshot
 protocol is spawn-safe (see :mod:`.snapshot`), so platforms without
 ``fork`` — or an explicit ``start_method="spawn"`` — work identically.
+
+Crash supervision (:mod:`.supervisor`) rides on two extras threaded
+through the pool initializer: a shared **heartbeat array** (two doubles
+per shard: monotonic start stamp + worker pid, written by
+:func:`_run_shard` just before compute, so the parent can tell started
+shards from queued ones when the pool breaks, and reap hung workers by
+pid) and a **generation** counter naming which pool rebuild a worker
+belongs to (the ordinal scripted ``worker.init`` faults match on).
 """
 
 from __future__ import annotations
 
 import multiprocessing as mp
+import os
 import time
 from concurrent.futures import ProcessPoolExecutor, as_completed
 from typing import List, Optional
 
-from .snapshot import EngineSnapshot, WorkerContext
+from .snapshot import (EngineSnapshot, WorkerContext, WorkerInitError,
+                       execute_process_fault)
 
 # Per-process cache: each worker deserializes the snapshot once, in its
 # pool initializer, and serves every subsequent shard from it.
 _WORKER_CONTEXT: Optional[WorkerContext] = None
+# Shared heartbeat array (None when unsupervised): slot 2i is the
+# monotonic stamp of shard i's latest start, slot 2i+1 the stamping pid.
+_HEARTBEAT = None
 
 
-def _init_worker(blob: bytes) -> None:
-    global _WORKER_CONTEXT
-    _WORKER_CONTEXT = WorkerContext(blob)
+def _init_worker(blob: bytes, heartbeat=None, generation: int = 0) -> None:
+    global _WORKER_CONTEXT, _HEARTBEAT
+    _HEARTBEAT = heartbeat
+    context = WorkerContext(blob)
+    injector = (context._resilience_template.injector
+                if context._resilience_template is not None else None)
+    if injector is not None:
+        # Scripted initializer crashes match on the pool generation:
+        # ``attempts: 1`` kills generation 0's workers and lets the
+        # rebuilt generation 1 through; ``attempts: -1`` poisons every
+        # rebuild until the supervisor's restart budget runs out.
+        fault = injector.process_fault("worker.init", generation,
+                                       generation)
+        if fault is not None and fault.action != "corrupt-outcome":
+            execute_process_fault(fault)
+    _WORKER_CONTEXT = context
 
 
-def _run_shard(index: int):
-    return _WORKER_CONTEXT.run_shard(index)
+def _run_shard(index: int, attempt: int = 0):
+    if _WORKER_CONTEXT is None:
+        # The pool initializer never completed in this process; without
+        # this guard the shard dies with a bare AttributeError nobody
+        # can attribute.  SnapshotError-family so the serial fallback
+        # and the supervisor both classify it as pool infrastructure.
+        raise WorkerInitError(
+            f"shard {index} dispatched to pid {os.getpid()} whose pool "
+            f"initializer failed: no worker context (snapshot "
+            f"deserialization or initializer crash)")
+    if _HEARTBEAT is not None:
+        _HEARTBEAT[2 * index] = time.monotonic()
+        _HEARTBEAT[2 * index + 1] = float(os.getpid())
+    return _WORKER_CONTEXT.run_shard(index, attempt)
 
 
 def pick_start_method(requested: Optional[str] = None) -> str:
@@ -54,17 +92,25 @@ class PersistentWorkerPool:
     """``jobs`` long-lived workers, one snapshot shipment each."""
 
     def __init__(self, snapshot: EngineSnapshot, jobs: int,
-                 start_method: Optional[str] = None) -> None:
+                 start_method: Optional[str] = None,
+                 heartbeat=None, generation: int = 0) -> None:
         self.snapshot = snapshot
         self.jobs = jobs
         self.start_method = pick_start_method(start_method)
+        self.generation = generation
         started = time.perf_counter()
         self._pool = ProcessPoolExecutor(
             max_workers=jobs,
             mp_context=mp.get_context(self.start_method),
             initializer=_init_worker,
-            initargs=(snapshot.blob,))
+            initargs=(snapshot.blob, heartbeat, generation))
         self.startup_seconds = time.perf_counter() - started
+
+    def submit(self, index: int, attempt: int = 0):
+        """Submit one shard; returns the future.  The supervisor's
+        entry point — it owns retry/rebuild policy, the pool only
+        executes."""
+        return self._pool.submit(_run_shard, index, attempt)
 
     def run_shards(self, count: int, on_outcome=None) -> List:
         """Run shards ``0..count-1``; outcomes return in shard order
@@ -76,8 +122,7 @@ class PersistentWorkerPool:
         ``on_outcome(done_count, total)`` after each completion — a
         progress hook (completion order, so for display only; it must
         not influence the merge)."""
-        futures = {self._pool.submit(_run_shard, index): index
-                   for index in range(count)}
+        futures = {self.submit(index): index for index in range(count)}
         outcomes: List = [None] * count
         done = 0
         try:

@@ -20,18 +20,57 @@ an identity lookup, so one code path serves both start methods.
 from __future__ import annotations
 
 import copy
+import multiprocessing as mp
 import os
 import pickle
+import signal
 import time
 from typing import List, Optional
 
 from ..pointer import keys as _keys
+from ..resilience.faults import Fault, WorkerCrashError
 
 
 class SnapshotError(TypeError):
     """The engine's state cannot be serialized for worker shipping
     (e.g. a foreign solver family or a non-picklable injected clock).
     The engine falls back to the serial reference path."""
+
+
+class WorkerInitError(SnapshotError):
+    """Shard execution was attempted in a worker whose pool initializer
+    never completed (``_WORKER_CONTEXT`` is ``None``).
+
+    Without this the shard dies with a bare ``AttributeError`` on the
+    ``None`` context — undiagnosable from the parent.  The supervisor
+    treats it like a broken pool: rebuild and retry."""
+
+
+# How long a scripted ``hang-worker`` wedges before giving up on the
+# watchdog and exiting anyway — a backstop so an unsupervised pool (or a
+# watchdog that is off) cannot deadlock a test run forever.
+_HANG_LIMIT_SECONDS = 120.0
+
+
+def execute_process_fault(fault: Fault) -> None:
+    """Fire a matched ``kill-worker``/``hang-worker`` fault *in a worker
+    process*.  In the parent (serial quarantine re-run, or a test
+    calling :meth:`WorkerContext.run_shard` in-process) the crash is
+    reported as :class:`~repro.resilience.WorkerCrashError` instead —
+    actually dying would take the whole analysis with it."""
+    if mp.parent_process() is None:
+        raise WorkerCrashError(
+            fault.message
+            or f"scripted {fault.action} at {fault.seam}#{fault.at}")
+    if fault.action == "kill-worker":
+        os.kill(os.getpid(), signal.SIGKILL)
+    elif fault.action == "hang-worker":
+        # Wedge without cooperating: no seam checks, no returns — only
+        # the parent's heartbeat watchdog (or the backstop) ends this.
+        limit = time.monotonic() + _HANG_LIMIT_SECONDS
+        while time.monotonic() < limit:
+            time.sleep(0.05)
+        os._exit(3)
 
 
 class EngineSnapshot:
@@ -126,9 +165,23 @@ class WorkerContext:
         return [seed for method in groups
                 for seed in by_method.get(method, [])]
 
-    def run_shard(self, index: int):
+    def run_shard(self, index: int, attempt: int = 0):
         shard = self.shards[index]
         template = self._resilience_template
+        injector = template.injector if template is not None else None
+        if injector is not None:
+            # Scripted crash modes fire against the *template* injector
+            # (positional matching — no per-shard counters to reset), so
+            # a plan replays identically no matter which worker gets the
+            # shard or how many retries preceded this attempt.
+            fault = injector.process_fault("worker.shard", index, attempt)
+            if fault is not None:
+                if fault.action == "corrupt-outcome":
+                    # Transport-level garbage: whatever compute would
+                    # have produced is replaced by a non-ShardOutcome
+                    # the parent must detect and retry.
+                    return fault.message or f"corrupt-outcome:{index}"
+                execute_process_fault(fault)
         self.engine.resilience = \
             copy.deepcopy(template) if template is not None else None
         if self._channels_enabled is not None:

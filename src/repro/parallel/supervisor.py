@@ -1,0 +1,365 @@
+"""Crash supervision for the persistent worker pool.
+
+:class:`~.pool.PersistentWorkerPool` executes; this module decides what
+happens when execution *dies*.  A ``ProcessPoolExecutor`` has brutal
+failure semantics: one SIGKILLed/OOM-killed/segfaulted worker (or a
+failed initializer) breaks the whole executor, every outstanding future
+raises ``BrokenProcessPool``, and — crucially — the executor cannot say
+*which* shard killed the worker.  The supervisor reconstructs that
+attribution from the shared heartbeat array (a shard whose start stamp
+is set but whose outcome never arrived was in flight on some worker
+when the pool died), then applies policy:
+
+* **retry with backoff** — blamed shards are requeued against a rebuilt
+  pool (the snapshot blob is cached, so a rebuild costs only process
+  startup), after an exponential-backoff-with-jitter pause; the blame
+  is necessarily a superset of the guilty shard (other shards running
+  concurrently on sibling workers are blamed too), which is harmless:
+  re-running a shard is deterministic, and the worst case is an
+  innocent shard reaching quarantine — where the parent re-runs it with
+  identical results.
+* **hang watchdog** — workers stamp a monotonic start time per shard;
+  a shard in flight longer than the policy's hang threshold gets its
+  stamped worker pid SIGKILLed, converting an invisible wedge into an
+  ordinary retryable crash.
+* **quarantine** — a shard that crosses ``max_shard_retries`` failed
+  attempts, or any shard still pending once ``max_pool_restarts`` pool
+  rebuilds are spent, is handed back to the caller for a serial re-run
+  in the parent (``TaintEngine._run_quarantined``), where the existing
+  degradation ladder — not process supervision — decides its fate.
+* **outcome validation** — a worker that returns something that is not
+  a :class:`~repro.taint.engine.ShardOutcome` for its shard (scripted
+  ``corrupt-outcome``, or real pickle corruption) is retried in place;
+  the pool itself is healthy, only the payload was garbage.
+
+Everything the supervisor does is bookkept in :class:`SupervisionStats`
+and surfaced as ``taint.pool.*`` counters plus ``taint.pool.retry``
+spans (``docs/robustness.md``), so a run that crashed and recovered is
+distinguishable from one that never crashed — even though their reports
+are byte-identical.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import os
+import random
+import signal
+import time
+from concurrent.futures import FIRST_COMPLETED, wait
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Set
+
+from .pool import PersistentWorkerPool, pick_start_method
+from .snapshot import EngineSnapshot, WorkerInitError
+
+
+@dataclass
+class SupervisionPolicy:
+    """Retry/restart/watchdog knobs (CLI: ``--max-shard-retries``,
+    ``--max-pool-restarts``, ``--hang-seconds``)."""
+
+    # Failed attempts a shard may accumulate beyond its first before it
+    # is quarantined to the parent (2 retries = 3 total attempts).
+    max_shard_retries: int = 2
+    # Pool rebuilds the whole run may spend before every still-pending
+    # shard is quarantined wholesale.
+    max_pool_restarts: int = 3
+    # Exponential backoff before rebuild N: min(cap, base * 2**N),
+    # jittered to 50-100% so a crash loop cannot synchronize.
+    backoff_base: float = 0.05
+    backoff_cap: float = 2.0
+    # Hang threshold: explicit seconds, else this multiple of the run's
+    # cooperative deadline (a shard is allowed to consume the whole
+    # deadline — only a *multiple* of it proves the worker wedged).
+    # Neither set -> the watchdog is off.
+    hang_multiple: float = 4.0
+    hang_seconds: Optional[float] = None
+    # Parent poll cadence while blocked on the pool.
+    heartbeat_interval: float = 0.05
+
+    def hang_threshold(
+            self, deadline_seconds: Optional[float]) -> Optional[float]:
+        if self.hang_seconds is not None:
+            return self.hang_seconds
+        if deadline_seconds is not None:
+            return self.hang_multiple * deadline_seconds
+        return None
+
+    def backoff(self, restart: int, rng: random.Random) -> float:
+        base = min(self.backoff_cap, self.backoff_base * (2 ** restart))
+        return base * (0.5 + 0.5 * rng.random())
+
+
+@dataclass
+class SupervisionStats:
+    """What supervision cost: the honesty record behind a recovered run."""
+
+    retries: int = 0           # shard re-submissions after a failure
+    restarts: int = 0          # pool rebuilds
+    hangs: int = 0             # workers reaped by the watchdog
+    corrupt_outcomes: int = 0  # non-ShardOutcome payloads rejected
+    quarantined: List[int] = field(default_factory=list)
+    # One line per crash event, for diagnostics/debugging.
+    events: List[str] = field(default_factory=list)
+
+
+class _PoolBroken(Exception):
+    """Internal control flow: the pool died; ``blamed`` are the shard
+    indices that were in flight (heartbeat-stamped, no outcome)."""
+
+    def __init__(self, kind: str, blamed: Set[int], detail: str) -> None:
+        self.kind = kind  # "crash" | "hang" | "init"
+        self.blamed = blamed
+        self.detail = detail
+        super().__init__(detail)
+
+
+class PoolSupervisor:
+    """Runs a shard set to completion across worker crashes.
+
+    One supervisor per parallel sweep.  :meth:`run` returns
+    ``(outcomes, quarantined)``: outcomes indexed by shard (``None``
+    where quarantined), and the sorted quarantined indices the caller
+    must re-run serially in the parent.  Cooperative faults (ordinary
+    exceptions from a shard with no resilience context) propagate
+    unchanged — supervision is for *process* death only, the legacy
+    contract for everything else is untouched.
+    """
+
+    def __init__(self, snapshot: EngineSnapshot, jobs: int, count: int,
+                 policy: Optional[SupervisionPolicy] = None,
+                 start_method: Optional[str] = None,
+                 deadline_seconds: Optional[float] = None,
+                 tracer=None,
+                 sleep: Callable[[float], None] = time.sleep,
+                 rng: Optional[random.Random] = None) -> None:
+        self.snapshot = snapshot
+        self.jobs = jobs
+        self.count = count
+        self.policy = policy if policy is not None else SupervisionPolicy()
+        self.start_method = pick_start_method(start_method)
+        self.deadline_seconds = deadline_seconds
+        self._tracer = tracer
+        self._sleep = sleep
+        # Jitter only — correctness never depends on it, so a fixed
+        # seed keeps test runs reproducible without threading state.
+        self._rng = rng if rng is not None else random.Random(0x7A9)
+        self.stats = SupervisionStats()
+        self.startup_seconds = 0.0
+        # Two doubles per shard: monotonic start stamp + stamping pid.
+        # A plain (lock-free) shared array: each slot has one writer at
+        # a time and the parent only compares against coarse thresholds.
+        self._heartbeat = mp.get_context(self.start_method).RawArray(
+            "d", 2 * count)
+
+    # -- pool lifecycle ------------------------------------------------------
+
+    def _build_pool(self, generation: int) -> PersistentWorkerPool:
+        pool = PersistentWorkerPool(
+            self.snapshot, self.jobs, self.start_method,
+            heartbeat=self._heartbeat, generation=generation)
+        self.startup_seconds += pool.startup_seconds
+        return pool
+
+    def _clear_stamp(self, index: int) -> None:
+        self._heartbeat[2 * index] = 0.0
+        self._heartbeat[2 * index + 1] = 0.0
+
+    def _started(self, index: int) -> bool:
+        return self._heartbeat[2 * index] > 0.0
+
+    # -- the supervision loop ------------------------------------------------
+
+    def run(self, pending: Optional[List[int]] = None, on_outcome=None,
+            on_result=None):
+        """Drive ``pending`` shards (default: all) to completion.
+
+        ``on_outcome(done, total)`` is the progress hook (completion
+        order — display only); ``on_result(outcome)`` fires once per
+        fresh valid outcome, in completion order — the checkpoint
+        journal's append hook (order-independent by design: the journal
+        keys by shard index)."""
+        if pending is None:
+            pending = list(range(self.count))
+        pending = sorted(pending)
+        # Exposed for the caller's quarantine re-run: the parent
+        # attempt is attempt N+1, so a scripted crash bounded at N
+        # attempts no longer matches there and the shard recovers.
+        self.attempts = attempts = {index: 0 for index in pending}
+        outcomes: List = [None] * self.count
+        quarantined: List[int] = []
+        policy = self.policy
+        generation = 0
+        pool = self._build_pool(generation)
+        try:
+            while pending:
+                try:
+                    self._drain(pool, pending, attempts, outcomes,
+                                quarantined, on_outcome, on_result)
+                    break  # every submitted shard resolved
+                except _PoolBroken as broken:
+                    pool.shutdown()
+                    unfinished = [
+                        index for index in attempts
+                        if outcomes[index] is None
+                        and index not in quarantined]
+                    self.stats.events.append(
+                        f"pool[gen {generation}] {broken.kind}: "
+                        f"{broken.detail}")
+                    for index in broken.blamed:
+                        if index in attempts and outcomes[index] is None:
+                            attempts[index] += 1
+                    fresh_quarantine = [
+                        index for index in unfinished
+                        if attempts[index] > policy.max_shard_retries]
+                    if self.stats.restarts >= policy.max_pool_restarts:
+                        # Restart budget spent: everything still pending
+                        # goes to the parent.  An initializer that dies
+                        # every generation lands here with zero shards
+                        # ever started.
+                        fresh_quarantine = unfinished
+                    for index in fresh_quarantine:
+                        quarantined.append(index)
+                        self.stats.quarantined.append(index)
+                    pending = [index for index in unfinished
+                               if index not in quarantined]
+                    if not pending:
+                        break
+                    self.stats.retries += sum(
+                        1 for index in pending if index in broken.blamed)
+                    self.stats.restarts += 1
+                    generation += 1
+                    delay = policy.backoff(self.stats.restarts - 1,
+                                           self._rng)
+                    if self._tracer is not None:
+                        with self._tracer.span(
+                                "taint.pool.retry", kind=broken.kind,
+                                generation=generation,
+                                pending=len(pending),
+                                quarantined=len(quarantined),
+                                backoff_seconds=round(delay, 4)):
+                            self._sleep(delay)
+                            pool = self._build_pool(generation)
+                    else:
+                        self._sleep(delay)
+                        pool = self._build_pool(generation)
+        finally:
+            pool.shutdown()
+        quarantined.sort()
+        return outcomes, quarantined
+
+    def _drain(self, pool: PersistentWorkerPool, pending: List[int],
+               attempts: Dict[int, int], outcomes: List,
+               quarantined: List[int], on_outcome, on_result) -> None:
+        """Submit ``pending`` and collect until done or the pool breaks."""
+        # Deferred import: repro.taint.engine reaches this package
+        # lazily from its parallel path, so module level here must not
+        # import it back.
+        from ..taint.engine import ShardOutcome
+        policy = self.policy
+        threshold = policy.hang_threshold(self.deadline_seconds)
+        futures: Dict[object, int] = {}
+
+        def _submit(index: int):
+            self._clear_stamp(index)
+            try:
+                future = pool.submit(index, attempts[index])
+            except (BrokenProcessPool, RuntimeError) as exc:
+                raise _PoolBroken("crash", self._blamed(outcomes,
+                                                        quarantined),
+                                  f"submit failed: {exc}") from exc
+            futures[future] = index
+            return future
+
+        for index in list(pending):
+            _submit(index)
+        pending.clear()
+        not_done = set(futures)
+        while not_done:
+            done, not_done = wait(not_done,
+                                  timeout=policy.heartbeat_interval,
+                                  return_when=FIRST_COMPLETED)
+            for future in done:
+                index = futures[future]
+                try:
+                    out = future.result()
+                except WorkerInitError as exc:
+                    # The shard itself is blameless: it was dispatched
+                    # into a context-less worker.
+                    for other in not_done:
+                        other.cancel()
+                    raise _PoolBroken("init", set(), str(exc)) from exc
+                except BrokenProcessPool as exc:
+                    for other in not_done:
+                        other.cancel()
+                    raise _PoolBroken(
+                        "crash", self._blamed(outcomes, quarantined),
+                        str(exc) or "worker process died") from exc
+                except Exception:
+                    # Cooperative fault with no resilience context: the
+                    # legacy contract — propagate, never retry.
+                    for other in not_done:
+                        other.cancel()
+                    raise
+                if (not isinstance(out, ShardOutcome)
+                        or out.index != index):
+                    # Healthy pool, garbage payload: retry in place.
+                    self.stats.corrupt_outcomes += 1
+                    attempts[index] += 1
+                    self.stats.events.append(
+                        f"shard {index}: corrupt outcome "
+                        f"({type(out).__name__})")
+                    if attempts[index] > policy.max_shard_retries:
+                        quarantined.append(index)
+                        self.stats.quarantined.append(index)
+                    else:
+                        self.stats.retries += 1
+                        not_done.add(_submit(index))
+                    continue
+                outcomes[index] = out
+                if on_result is not None:
+                    on_result(out)
+                if on_outcome is not None:
+                    on_outcome(sum(1 for o in outcomes if o is not None),
+                               self.count)
+            if threshold is not None and not_done:
+                self._reap_hung(futures, not_done, outcomes, threshold)
+
+    # -- crash attribution ---------------------------------------------------
+
+    def _blamed(self, outcomes: List, quarantined: List[int]) -> Set[int]:
+        """Shards that were in flight when the pool broke: heartbeat
+        stamp set, no outcome banked.  A superset of the guilty shard —
+        per-future attribution is impossible once the executor breaks."""
+        return {index for index in range(self.count)
+                if outcomes[index] is None and index not in quarantined
+                and self._started(index)}
+
+    def _reap_hung(self, futures: Dict, not_done, outcomes: List,
+                   threshold: float) -> None:
+        """SIGKILL the worker of any in-flight shard stamped longer ago
+        than ``threshold`` — converting the hang into a pool break the
+        crash path handles."""
+        now = time.monotonic()
+        for future in not_done:
+            index = futures[future]
+            stamp = self._heartbeat[2 * index]
+            if stamp <= 0.0 or now - stamp <= threshold:
+                continue
+            pid = int(self._heartbeat[2 * index + 1])
+            self.stats.hangs += 1
+            self.stats.events.append(
+                f"shard {index}: hung {now - stamp:.2f}s "
+                f"(> {threshold:.2f}s), killing pid {pid}")
+            if pid > 0 and pid != os.getpid():
+                try:
+                    os.kill(pid, signal.SIGKILL)
+                except (ProcessLookupError, PermissionError):
+                    pass
+            for other in not_done:
+                other.cancel()
+            raise _PoolBroken("hang", {index},
+                              f"shard {index} exceeded hang threshold "
+                              f"{threshold:.2f}s")

@@ -35,6 +35,8 @@ makes ``--jobs N`` and serial runs byte-identical
 
 from __future__ import annotations
 
+import copy
+import os
 import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
@@ -42,8 +44,8 @@ from typing import Dict, List, Optional, Tuple
 from ..bounds import Budget, BudgetExhausted, StateMeter
 from ..obs import DISABLED, MetricsRegistry
 from ..pointer.heapgraph import HeapGraph
-from ..resilience import (Degradation, DeadlineExceeded, next_strategy,
-                          trigger_of)
+from ..resilience import (Degradation, DeadlineExceeded, Diagnostic,
+                          next_strategy, trigger_of)
 from ..sdg.hsdg import DirectEdges
 from ..sdg.noheap import NoHeapSDG
 from ..slicing import CISlicer, CSSlicer, HybridSlicer, Slicer
@@ -156,7 +158,9 @@ class TaintEngine:
                  resilience: Optional[object] = None,
                  jobs: int = 1, shard_grain: str = "auto",
                  start_method: Optional[str] = None,
-                 shards_per_rule: Optional[int] = None) -> None:
+                 shards_per_rule: Optional[int] = None,
+                 supervision: Optional[object] = None,
+                 checkpoint: Optional[object] = None) -> None:
         self.sdg = sdg
         self.direct = direct
         self.heap_graph = heap_graph
@@ -175,6 +179,11 @@ class TaintEngine:
         # Fine-grain chunk bound override (None = the plan default);
         # reports are identical for every value.
         self.shards_per_rule = shards_per_rule
+        # Crash-supervision policy (repro.parallel.SupervisionPolicy,
+        # None = defaults) and the opt-in checkpoint journal
+        # (repro.parallel.CheckpointJournal, None = off).
+        self.supervision = supervision
+        self.checkpoint = checkpoint
         self._rule_list: List = []
         # Rule-name → CarrierIndex, shared across every slicer this
         # engine creates: the index is a whole-SDG scan, fixed per
@@ -377,11 +386,98 @@ class TaintEngine:
                                     out.duration)
         return out
 
+    def _seeds_for_shard(self, shard, rule) -> Optional[List]:
+        """A fine shard's seed subset, parent-side (mirrors
+        ``WorkerContext._seeds_for``)."""
+        if shard.groups is None:
+            return None
+        by_method: Dict = {}
+        for seed in enumerate_sources(self.sdg, rule):
+            by_method.setdefault(seed.stmt.ref.method, []).append(seed)
+        return [seed for method in shard.groups
+                for seed in by_method.get(method, [])]
+
+    def _run_shard_in_parent(self, shard, rule) -> ShardOutcome:
+        """Run one shard in the parent exactly as a worker would:
+        fresh resilience copy, pristine channel state, same slicing
+        body — so a quarantined or checkpoint-remainder shard produces
+        the byte-identical outcome a healthy worker would have."""
+        saved_res = self.resilience
+        saved_channels = getattr(self.sdg, "channels_enabled", None)
+        self.resilience = (copy.deepcopy(saved_res)
+                           if saved_res is not None else None)
+        try:
+            out = self._slice_shard(shard, rule,
+                                    self._seeds_for_shard(shard, rule),
+                                    self.obs.metrics.enabled)
+            shard_res = self.resilience
+        finally:
+            self.resilience = saved_res
+            if saved_channels is not None:
+                self.sdg.channels_enabled = saved_channels
+        if (shard_res is not None and shard_res.deadline is not None
+                and shard_res.deadline.tripped):
+            out.deadline_tripped = True
+        out.pid = os.getpid()
+        return out
+
+    def _run_quarantined(self, shards, rules: List, indices: List[int],
+                         attempts: Dict[int, int],
+                         journal) -> Dict[int, ShardOutcome]:
+        """Serially re-run poison shards in the parent.
+
+        A shard the supervisor gave up on gets one parent-side attempt
+        under the ordinary degradation ladder.  A scripted crash fault
+        that still matches this attempt stands for "deterministically
+        kills its host process" — executing it would kill the analysis,
+        so the shard is abandoned instead: a ``crash`` degradation plus
+        a diagnostic ride the outcome into the merge, the rule's flows
+        are dropped, and the run completes as ``partial-crash``."""
+        res = self.resilience
+        injector = res.injector if res is not None else None
+        outs: Dict[int, ShardOutcome] = {}
+        for index in sorted(indices):
+            shard = shards[index]
+            attempt = attempts.get(index, 0)
+            fault = None
+            if injector is not None:
+                fault = injector.process_fault("worker.shard", index,
+                                               attempt)
+            if fault is not None and fault.action != "corrupt-outcome":
+                # corrupt-outcome is transport-level; there is no
+                # transport in the parent, so the shard runs normally.
+                out = ShardOutcome(index=shard.index,
+                                   rule_index=shard.rule_index,
+                                   rule=shard.rule,
+                                   groups=shard.groups,
+                                   final_strategy=self.strategy)
+                detail = (fault.message
+                          or f"shard {index} ({shard.rule}) kills "
+                             f"its worker on every attempt "
+                             f"({fault.action}, {attempt} attempts)")
+                out.degradations.append(Degradation(
+                    "taint", "crash", "abandon-shard", detail))
+                out.diagnostics.append(Diagnostic(
+                    phase="taint", kind="worker-crash", message=detail,
+                    detail={"shard": index, "rule": shard.rule,
+                            "action": fault.action,
+                            "attempts": attempt}))
+                outs[index] = out
+                continue
+            out = self._run_shard_in_parent(shard,
+                                            rules[shard.rule_index])
+            if journal is not None:
+                journal.record(out)
+            outs[index] = out
+        return outs
+
     def _run_parallel(self, rules: List) -> TaintResult:
-        from ..parallel import (EngineSnapshot, PersistentWorkerPool,
-                                SnapshotError, plan_shards)
+        from ..parallel import (EngineSnapshot, PoolSupervisor,
+                                SnapshotError, plan_fingerprint,
+                                plan_shards)
         obs = self.obs
         tracer = obs.tracer
+        metrics = obs.metrics
         plan_kwargs = {}
         if self.shards_per_rule is not None:
             plan_kwargs["max_shards_per_rule"] = self.shards_per_rule
@@ -390,7 +486,44 @@ class TaintEngine:
         if len(shards) < 2:
             # Nothing to distribute; the pool would be pure overhead.
             return self._run_serial(rules)
-        jobs = min(self.jobs, len(shards))
+        outcomes: List[Optional[ShardOutcome]] = [None] * len(shards)
+        journal = self.checkpoint
+        if journal is not None:
+            # Outcomes journaled by a compatible interrupted run are
+            # banked as-is; only the remainder executes.
+            for index, out in journal.resume(plan_fingerprint(shards),
+                                             len(shards)).items():
+                outcomes[index] = out
+            metrics.inc("taint.pool.shards_resumed", journal.resumed)
+        pending = [index for index, out in enumerate(outcomes)
+                   if out is None]
+        if journal is not None:
+            metrics.inc("taint.pool.shards_executed", len(pending))
+        progress = getattr(obs, "progress", None)
+        if progress is not None:
+            progress.update(
+                shards=f"{len(shards) - len(pending)}/{len(shards)}")
+        if len(pending) < 2:
+            # Zero or one shard left after resume: the pool would be
+            # pure overhead — run the remainder in the parent.  The
+            # worker_inits counter stays 0, the resume proof.
+            metrics.inc("taint.pool.worker_inits", 0)
+            metrics.gauge("taint.pool.shards", len(shards))
+            for index in pending:
+                outcomes[index] = self._run_shard_in_parent(
+                    shards[index], rules[shards[index].rule_index])
+                if journal is not None:
+                    journal.record(outcomes[index])
+            merge_started = time.perf_counter()
+            result = self._merge_outcomes(rules, outcomes)
+            metrics.gauge("taint.pool.merge_seconds",
+                          time.perf_counter() - merge_started)
+            return result
+        jobs = min(self.jobs, len(pending))
+        res = self.resilience
+        deadline_seconds = (res.deadline.seconds
+                            if res is not None and res.deadline is not None
+                            else None)
         start_span = tracer.span("taint.pool.start", jobs=jobs,
                                  shards=len(shards))
         try:
@@ -399,10 +532,14 @@ class TaintEngine:
             # same workers and the same shipped state.
             with start_span as span:
                 snapshot = EngineSnapshot(
-                    self, shards, collect_metrics=obs.metrics.enabled)
-                pool = PersistentWorkerPool(snapshot, jobs,
-                                            self.start_method)
-                span.set(start_method=pool.start_method,
+                    self, shards, collect_metrics=metrics.enabled)
+                supervisor = PoolSupervisor(
+                    snapshot, jobs, len(shards),
+                    policy=self.supervision,
+                    start_method=self.start_method,
+                    deadline_seconds=deadline_seconds,
+                    tracer=tracer)
+                span.set(start_method=supervisor.start_method,
                          snapshot_bytes=snapshot.nbytes)
         except SnapshotError:
             # Unshippable state (foreign solver family, injected
@@ -411,26 +548,38 @@ class TaintEngine:
             start_span.set(fallback="serial")
             return self._run_serial(rules)
         profiler = getattr(obs, "profiler", None)
-        progress = getattr(obs, "progress", None)
         on_outcome = None
         if progress is not None:
-            progress.update(shards=f"0/{len(shards)}")
+            resumed = len(shards) - len(pending)
             on_outcome = (lambda done, total:
-                          progress.update(shards=f"{done}/{total}"))
+                          progress.update(
+                              shards=f"{done + resumed}/{total}"))
+        on_result = journal.record if journal is not None else None
         try:
             if profiler is not None and profiler.running:
                 # Workers profile their own shards; the parent would
                 # otherwise attribute its pool-wait frames to the taint
                 # phase and double-count the shard work.
                 profiler.pause()
-            outcomes = pool.run_shards(len(shards), on_outcome=on_outcome)
+            fresh, quarantined = supervisor.run(
+                pending, on_outcome=on_outcome, on_result=on_result)
         finally:
             if profiler is not None and profiler.running:
                 profiler.resume()
-            pool.shutdown()
+        for index, out in enumerate(fresh):
+            if out is not None:
+                outcomes[index] = out
+        if quarantined:
+            # Poison shards: one serial attempt each in the parent,
+            # under the degradation ladder (or an honest abandonment —
+            # see _run_quarantined).
+            for index, out in self._run_quarantined(
+                    shards, rules, quarantined, supervisor.attempts,
+                    journal).items():
+                outcomes[index] = out
         merge_started = time.perf_counter()
         result = self._merge_outcomes(rules, outcomes)
-        metrics = obs.metrics
+        stats = supervisor.stats
         metrics.gauge("taint.parallel_jobs", jobs)
         metrics.gauge("taint.pool.workers", jobs)
         metrics.gauge("taint.pool.shards", len(shards))
@@ -438,9 +587,23 @@ class TaintEngine:
         metrics.gauge("taint.pool.snapshot_build_seconds",
                       snapshot.build_seconds)
         metrics.gauge("taint.pool.startup_seconds",
-                      snapshot.build_seconds + pool.startup_seconds)
+                      snapshot.build_seconds + supervisor.startup_seconds)
         metrics.inc("taint.pool.worker_inits",
-                    sum(1 for out in outcomes if out.init_seconds > 0))
+                    sum(1 for out in fresh
+                        if out is not None and out.init_seconds > 0))
+        # Supervision counters appear only when supervision intervened,
+        # so an untroubled run's metrics are unchanged.
+        if stats.retries:
+            metrics.inc("taint.pool.retries", stats.retries)
+        if stats.restarts:
+            metrics.inc("taint.pool.restarts", stats.restarts)
+        if stats.hangs:
+            metrics.inc("taint.pool.hangs", stats.hangs)
+        if stats.corrupt_outcomes:
+            metrics.inc("taint.pool.corrupt_outcomes",
+                        stats.corrupt_outcomes)
+        if stats.quarantined:
+            metrics.inc("taint.pool.quarantined", len(stats.quarantined))
         metrics.gauge("taint.pool.merge_seconds",
                       time.perf_counter() - merge_started)
         return result

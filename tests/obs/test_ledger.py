@@ -122,6 +122,34 @@ def test_read_ledger_names_the_malformed_line(tmp_path):
         read_ledger(str(path))
 
 
+def test_read_ledger_skips_crash_truncated_final_line(tmp_path):
+    """A writer killed mid-append leaves an unterminated partial JSON
+    tail; reading must skip it (with a warning naming the line), not
+    raise — the committed history before it stays usable."""
+    path = tmp_path / "ledger.jsonl"
+    first = _record()
+    append_record(str(path), first)
+    whole = json.dumps(_record(seconds=9.0))
+    with open(path, "a") as handle:
+        handle.write(whole[:len(whole) // 2])  # no trailing newline
+    with pytest.warns(UserWarning, match=r":2:.*crash-truncated"):
+        records = read_ledger(str(path))
+    assert records == [first]
+
+
+def test_read_ledger_truncation_tolerance_needs_missing_newline(
+        tmp_path):
+    """The tolerance is only for the unterminated tail: a malformed
+    line that *is* newline-terminated was a complete (bad) write and
+    still raises."""
+    path = tmp_path / "ledger.jsonl"
+    append_record(str(path), _record())
+    with open(path, "a") as handle:
+        handle.write('{"half": \n')
+    with pytest.raises(LedgerError, match=r":2:"):
+        read_ledger(str(path))
+
+
 def test_read_ledger_rejects_unknown_schema(tmp_path):
     path = tmp_path / "ledger.jsonl"
     bad = _record()

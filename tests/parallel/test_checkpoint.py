@@ -1,0 +1,205 @@
+"""Checkpoint journal tests: resume skips completed shards, foreign or
+corrupt journals are discarded (never trusted), and an interrupted
+parallel sweep restarted over the same directory re-executes exactly
+the unfinished remainder with a byte-identical report."""
+
+import json
+
+import pytest
+
+from repro.bounds import Budget
+from repro.modeling import prepare, default_natives
+from repro.obs import Observability
+from repro.parallel import CheckpointJournal, plan_fingerprint
+from repro.pointer import ContextPolicy, PointerAnalysis
+from repro.pointer.heapgraph import HeapGraph
+from repro.sdg.hsdg import DirectEdges
+from repro.sdg.noheap import NoHeapSDG
+from repro.taint import TaintEngine, default_rules
+from repro.taint.engine import ShardOutcome
+
+APP = """
+class P0 extends HttpServlet {
+  void doGet(HttpServletRequest req, HttpServletResponse resp) {
+    resp.getWriter().println(req.getParameter("a"));
+  }
+}
+class P1 extends HttpServlet {
+  void doGet(HttpServletRequest req, HttpServletResponse resp) {
+    resp.getWriter().println(req.getParameter("b"));
+    Connection c = DriverManager.getConnection("db");
+    c.createStatement().executeQuery("q" + req.getParameter("u"));
+  }
+}
+class P2 extends HttpServlet {
+  void doGet(HttpServletRequest req, HttpServletResponse resp) {
+    String v = req.getParameter("c");
+    resp.getWriter().println(v);
+  }
+}
+"""
+
+
+@pytest.fixture(scope="module")
+def pieces():
+    prepared = prepare([APP])
+    analysis = PointerAnalysis(prepared.program, ContextPolicy(),
+                               natives=default_natives())
+    analysis.solve()
+    sdg = NoHeapSDG(prepared.program, analysis.call_graph)
+    return sdg, DirectEdges(sdg, analysis), HeapGraph(analysis)
+
+
+def _engine(pieces, **kwargs):
+    sdg, direct, heap = pieces
+    return TaintEngine(sdg, direct, heap, default_rules(), Budget(),
+                       **kwargs)
+
+
+def _outcome(index: int, completed: bool = True) -> ShardOutcome:
+    return ShardOutcome(index=index, rule_index=index, rule=f"R{index}",
+                        completed=completed)
+
+
+# -- journal unit behaviour ---------------------------------------------------
+
+def test_record_resume_round_trip(tmp_path):
+    journal = CheckpointJournal(str(tmp_path / "ckpt"), "fp")
+    assert journal.resume("plan", 4) == {}
+    journal.record(_outcome(0))
+    journal.record(_outcome(2))
+    again = CheckpointJournal(str(tmp_path / "ckpt"), "fp")
+    outcomes = again.resume("plan", 4)
+    assert sorted(outcomes) == [0, 2]
+    assert outcomes[2].rule == "R2"
+    assert again.resumed == 2 and again.skipped == 0
+
+
+def test_incomplete_outcomes_are_never_journaled(tmp_path):
+    """A failed/degraded shard must re-run on resume, so a transient
+    crash never becomes a permanent degradation."""
+    journal = CheckpointJournal(str(tmp_path), "fp")
+    journal.resume("plan", 2)
+    journal.record(_outcome(0, completed=False))
+    again = CheckpointJournal(str(tmp_path), "fp")
+    assert again.resume("plan", 2) == {}
+
+
+def test_foreign_fingerprint_resets_the_journal(tmp_path):
+    journal = CheckpointJournal(str(tmp_path), "fp-a")
+    journal.resume("plan", 2)
+    journal.record(_outcome(0))
+    other = CheckpointJournal(str(tmp_path), "fp-b")
+    assert other.resume("plan", 2) == {}
+    assert "foreign" in other.reset_reason
+    # The stale outcomes are gone for good — even the original identity
+    # starts over rather than trusting a reset directory.
+    back = CheckpointJournal(str(tmp_path), "fp-a")
+    assert back.resume("plan", 2) == {}
+
+
+def test_changed_plan_resets_the_journal(tmp_path):
+    journal = CheckpointJournal(str(tmp_path), "fp")
+    journal.resume("plan-1", 2)
+    journal.record(_outcome(0))
+    again = CheckpointJournal(str(tmp_path), "fp")
+    assert again.resume("plan-2", 2) == {}
+    assert "foreign" in again.reset_reason
+
+
+def test_corrupt_meta_resets_instead_of_raising(tmp_path):
+    journal = CheckpointJournal(str(tmp_path), "fp")
+    journal.resume("plan", 2)
+    journal.record(_outcome(0))
+    (tmp_path / "meta.json").write_text("{broken", encoding="utf-8")
+    again = CheckpointJournal(str(tmp_path), "fp")
+    assert again.resume("plan", 2) == {}
+
+
+def test_crash_truncated_tail_is_skipped(tmp_path):
+    """A parent killed mid-append leaves an unterminated final line;
+    the finished records before it still resume."""
+    journal = CheckpointJournal(str(tmp_path), "fp")
+    journal.resume("plan", 4)
+    journal.record(_outcome(0))
+    journal.record(_outcome(1))
+    text = (tmp_path / "shards.jsonl").read_text(encoding="utf-8")
+    lines = text.splitlines()
+    (tmp_path / "shards.jsonl").write_text(
+        "\n".join(lines[:-1]) + "\n" + lines[-1][:20], encoding="utf-8")
+    again = CheckpointJournal(str(tmp_path), "fp")
+    assert sorted(again.resume("plan", 4)) == [0]
+
+
+def test_undecodable_record_reruns_that_shard_only(tmp_path):
+    journal = CheckpointJournal(str(tmp_path), "fp")
+    journal.resume("plan", 4)
+    journal.record(_outcome(0))
+    with open(tmp_path / "shards.jsonl", "a", encoding="utf-8") as fh:
+        fh.write(json.dumps({"schema": 1, "index": 1,
+                             "blob": "bm90LWEtcGlja2xl"}) + "\n")
+    journal.record(_outcome(2))
+    again = CheckpointJournal(str(tmp_path), "fp")
+    assert sorted(again.resume("plan", 4)) == [0, 2]
+    assert again.skipped == 1
+
+
+def test_plan_fingerprint_tracks_the_shard_list(pieces):
+    from repro.parallel import plan_shards
+    engine = _engine(pieces)
+    rules = list(engine.rules)
+    shards = plan_shards(engine.sdg, rules, "hybrid", Budget())
+    assert plan_fingerprint(shards) == plan_fingerprint(shards)
+    assert plan_fingerprint(shards) != plan_fingerprint(shards[:-1])
+
+
+# -- engine integration -------------------------------------------------------
+
+def test_interrupted_sweep_resumes_only_the_remainder(pieces, tmp_path):
+    """The acceptance proof: K of N shards journaled -> the restart
+    executes exactly N-K shards, and the merged report is identical."""
+    serial = _engine(pieces).run()
+    serial_keys = [f.sort_key() for f in serial.flows]
+
+    obs1 = Observability()
+    journal1 = CheckpointJournal(str(tmp_path), "engine-fp")
+    full = _engine(pieces, jobs=2, obs=obs1, checkpoint=journal1).run()
+    assert [f.sort_key() for f in full.flows] == serial_keys
+    shards = int(obs1.metrics.gauge_value("taint.pool.shards"))
+    assert obs1.metrics.counter_value("taint.pool.shards_executed") \
+        == shards
+    assert obs1.metrics.counter_value("taint.pool.shards_resumed") == 0
+
+    # Simulate the interruption: keep only the first K journal lines.
+    lines = (tmp_path / "shards.jsonl").read_text(
+        encoding="utf-8").splitlines()
+    keep = len(lines) // 2
+    assert 0 < keep < shards
+    (tmp_path / "shards.jsonl").write_text(
+        "\n".join(lines[:keep]) + "\n", encoding="utf-8")
+
+    obs2 = Observability()
+    journal2 = CheckpointJournal(str(tmp_path), "engine-fp")
+    resumed = _engine(pieces, jobs=2, obs=obs2,
+                      checkpoint=journal2).run()
+    assert [f.sort_key() for f in resumed.flows] == serial_keys
+    assert obs2.metrics.counter_value("taint.pool.shards_resumed") \
+        == keep
+    assert obs2.metrics.counter_value("taint.pool.shards_executed") \
+        == shards - keep
+
+
+def test_fully_journaled_sweep_starts_no_workers(pieces, tmp_path):
+    """A complete journal resumes everything: zero shards executed,
+    zero worker inits — the pool never starts."""
+    journal1 = CheckpointJournal(str(tmp_path), "engine-fp")
+    reference = _engine(pieces, jobs=2, checkpoint=journal1).run()
+    obs = Observability()
+    journal2 = CheckpointJournal(str(tmp_path), "engine-fp")
+    resumed = _engine(pieces, jobs=2, obs=obs,
+                      checkpoint=journal2).run()
+    assert [f.sort_key() for f in resumed.flows] == \
+        [f.sort_key() for f in reference.flows]
+    assert obs.metrics.counter_value("taint.pool.shards_executed") == 0
+    assert obs.metrics.counter_value("taint.pool.worker_inits") == 0
+    assert not obs.tracer.find("taint.pool.start")

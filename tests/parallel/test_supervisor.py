@@ -1,0 +1,208 @@
+"""Pool supervision tests: crash retry, hang watchdog, poison-shard
+quarantine, corrupt-outcome rejection, and the restart budget — all
+against scripted process faults (repro.resilience.faults, worker.*
+seams)."""
+
+import pytest
+
+from repro.bounds import Budget
+from repro.modeling import prepare, default_natives
+from repro.obs import Observability
+from repro.parallel import SupervisionPolicy, WorkerInitError
+from repro.parallel import pool as pool_mod
+from repro.pointer import ContextPolicy, PointerAnalysis
+from repro.pointer.heapgraph import HeapGraph
+from repro.resilience import (PARTIAL_CRASH, Fault, FaultPlan,
+                              ResilienceContext)
+from repro.sdg.hsdg import DirectEdges
+from repro.sdg.noheap import NoHeapSDG
+from repro.taint import TaintEngine, default_rules
+
+APP = """
+class P0 extends HttpServlet {
+  void doGet(HttpServletRequest req, HttpServletResponse resp) {
+    resp.getWriter().println(req.getParameter("a"));
+  }
+}
+class P1 extends HttpServlet {
+  void doGet(HttpServletRequest req, HttpServletResponse resp) {
+    resp.getWriter().println(req.getParameter("b"));
+    Connection c = DriverManager.getConnection("db");
+    c.createStatement().executeQuery("q" + req.getParameter("u"));
+  }
+}
+class P2 extends HttpServlet {
+  void doGet(HttpServletRequest req, HttpServletResponse resp) {
+    String v = req.getParameter("c");
+    resp.getWriter().println(v);
+  }
+}
+"""
+
+
+@pytest.fixture(scope="module")
+def pieces():
+    prepared = prepare([APP])
+    analysis = PointerAnalysis(prepared.program, ContextPolicy(),
+                               natives=default_natives())
+    analysis.solve()
+    sdg = NoHeapSDG(prepared.program, analysis.call_graph)
+    return sdg, DirectEdges(sdg, analysis), HeapGraph(analysis)
+
+
+def _engine(pieces, faults=None, **kwargs):
+    sdg, direct, heap = pieces
+    resilience = ResilienceContext(faults=faults) if faults else None
+    return TaintEngine(sdg, direct, heap, default_rules(), Budget(),
+                       resilience=resilience, **kwargs)
+
+
+@pytest.fixture(scope="module")
+def serial_keys(pieces):
+    return [f.sort_key() for f in _engine(pieces).run().flows]
+
+
+def test_killed_worker_is_retried_byte_identically(pieces, serial_keys):
+    """A shard that SIGKILLs its worker once is requeued against a
+    rebuilt pool and the report never learns about it."""
+    obs = Observability()
+    plan = FaultPlan.of(Fault("worker.shard", at=0,
+                              action="kill-worker", attempts=1))
+    result = _engine(pieces, faults=plan, jobs=2, obs=obs).run()
+    assert [f.sort_key() for f in result.flows] == serial_keys
+    assert obs.metrics.counter_value("taint.pool.retries") >= 1
+    assert obs.metrics.counter_value("taint.pool.restarts") >= 1
+    retry_spans = obs.tracer.find("taint.pool.retry")
+    assert retry_spans and retry_spans[0].attrs["kind"] == "crash"
+    assert retry_spans[0].attrs["backoff_seconds"] >= 0
+
+
+def test_poison_shard_quarantined_to_partial_crash(pieces, serial_keys):
+    """A shard that kills its worker on *every* attempt is abandoned
+    honestly: partial-crash verdict, per-shard diagnostic, and the
+    other rules' flows survive."""
+    obs = Observability()
+    plan = FaultPlan.of(Fault("worker.shard", at=0,
+                              action="kill-worker", attempts=-1))
+    engine = _engine(pieces, faults=plan, jobs=2, obs=obs)
+    result = engine.run()
+    res = engine.resilience
+    assert res.completeness() == PARTIAL_CRASH
+    diags = [d for d in res.diagnostics.diagnostics
+             if d.kind == "worker-crash"]
+    assert diags and diags[0].detail["shard"] == 0
+    assert obs.metrics.counter_value("taint.pool.quarantined") >= 1
+    # Only the abandoned shard's flows are missing, never extras.
+    keys = [f.sort_key() for f in result.flows]
+    assert set(keys) < set(serial_keys)
+
+
+def test_hang_watchdog_reaps_and_retries(pieces, serial_keys):
+    """A wedged worker is SIGKILLed once its shard exceeds the hang
+    threshold, converting the hang into an ordinary retried crash."""
+    obs = Observability()
+    plan = FaultPlan.of(Fault("worker.shard", at=0,
+                              action="hang-worker", attempts=1))
+    policy = SupervisionPolicy(hang_seconds=0.75)
+    result = _engine(pieces, faults=plan, jobs=2, obs=obs,
+                     supervision=policy).run()
+    assert [f.sort_key() for f in result.flows] == serial_keys
+    assert obs.metrics.counter_value("taint.pool.hangs") >= 1
+    assert obs.metrics.counter_value("taint.pool.retries") >= 1
+
+
+def test_corrupt_outcome_is_rejected_and_retried(pieces, serial_keys):
+    """A payload that is not a ShardOutcome never reaches the merge:
+    the pool is healthy, so the shard retries in place."""
+    obs = Observability()
+    plan = FaultPlan.of(Fault("worker.shard", at=0,
+                              action="corrupt-outcome", attempts=1))
+    result = _engine(pieces, faults=plan, jobs=2, obs=obs).run()
+    assert [f.sort_key() for f in result.flows] == serial_keys
+    assert obs.metrics.counter_value("taint.pool.corrupt_outcomes") >= 1
+    assert obs.metrics.counter_value("taint.pool.retries") >= 1
+    # No pool rebuild: corruption is payload-level, not process death.
+    assert "taint.pool.restarts" not in \
+        obs.metrics.snapshot()["counters"]
+
+
+def test_always_corrupt_shard_recovers_in_parent(pieces, serial_keys):
+    """corrupt-outcome on every attempt exhausts the retry budget, but
+    the parent re-run has no transport to corrupt — still identical."""
+    obs = Observability()
+    plan = FaultPlan.of(Fault("worker.shard", at=0,
+                              action="corrupt-outcome", attempts=-1))
+    result = _engine(pieces, faults=plan, jobs=2, obs=obs).run()
+    assert [f.sort_key() for f in result.flows] == serial_keys
+    assert obs.metrics.counter_value("taint.pool.quarantined") >= 1
+
+
+def test_initializer_death_exhausts_restarts_then_parent_serial(
+        pieces, serial_keys):
+    """Every pool generation dying in its initializer spends the
+    restart budget; the whole plan is then re-run serially in the
+    parent — still byte-identical."""
+    obs = Observability()
+    plan = FaultPlan.of(Fault("worker.init", at=-1,
+                              action="kill-worker", attempts=-1))
+    result = _engine(pieces, faults=plan, jobs=2, obs=obs).run()
+    assert [f.sort_key() for f in result.flows] == serial_keys
+    assert obs.metrics.counter_value("taint.pool.restarts") \
+        == SupervisionPolicy().max_pool_restarts
+    shards = obs.metrics.gauge_value("taint.pool.shards")
+    assert obs.metrics.counter_value("taint.pool.quarantined") == shards
+
+
+def test_single_init_crash_is_survived(pieces, serial_keys):
+    """One dead generation (attempts=1 matches generation 0 only) is
+    absorbed by a single rebuild."""
+    obs = Observability()
+    plan = FaultPlan.of(Fault("worker.init", at=-1,
+                              action="kill-worker", attempts=1))
+    result = _engine(pieces, faults=plan, jobs=2, obs=obs).run()
+    assert [f.sort_key() for f in result.flows] == serial_keys
+    assert obs.metrics.counter_value("taint.pool.restarts") >= 1
+    assert "taint.pool.quarantined" not in \
+        obs.metrics.snapshot()["counters"]
+
+
+def test_untroubled_run_has_no_supervision_counters(pieces):
+    """Supervision bookkeeping appears only when supervision acted."""
+    obs = Observability()
+    result = _engine(pieces, jobs=2, obs=obs).run()
+    assert result.flows
+    counters = obs.metrics.snapshot()["counters"]
+    for name in ("taint.pool.retries", "taint.pool.restarts",
+                 "taint.pool.hangs", "taint.pool.corrupt_outcomes",
+                 "taint.pool.quarantined"):
+        assert name not in counters, name
+
+
+def test_run_shard_without_context_names_the_dead_initializer():
+    """A shard dispatched into a worker whose initializer failed gets a
+    diagnosable WorkerInitError, not a bare AttributeError."""
+    saved = pool_mod._WORKER_CONTEXT
+    pool_mod._WORKER_CONTEXT = None
+    try:
+        with pytest.raises(WorkerInitError,
+                           match="initializer failed"):
+            pool_mod._run_shard(3)
+    finally:
+        pool_mod._WORKER_CONTEXT = saved
+
+
+def test_policy_hang_threshold_resolution():
+    policy = SupervisionPolicy(hang_multiple=4.0)
+    assert policy.hang_threshold(None) is None
+    assert policy.hang_threshold(2.0) == 8.0
+    assert SupervisionPolicy(hang_seconds=1.5).hang_threshold(2.0) == 1.5
+
+
+def test_policy_backoff_is_bounded_and_jittered():
+    import random
+    policy = SupervisionPolicy(backoff_base=0.1, backoff_cap=1.0)
+    rng = random.Random(7)
+    delays = [policy.backoff(restart, rng) for restart in range(10)]
+    assert all(0.05 <= delay <= 1.0 for delay in delays)
+    # Exponential up to the cap.
+    assert max(delays) <= policy.backoff_cap

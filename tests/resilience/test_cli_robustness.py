@@ -87,3 +87,54 @@ def test_expired_deadline_exits_one_as_partial(tmp_path, capsys):
     assert code == 1, "a partial (deadline) run is not a failure"
     assert "partial-deadline" in captured.out
     assert "Traceback" not in captured.err + captured.out
+
+
+# -- --fault-plan (docs/robustness.md) ----------------------------------------
+
+def test_fault_plan_malformed_file_exits_two(tmp_path, capsys):
+    good = write(tmp_path, "good.jlang", GOOD)
+    plan = write(tmp_path, "plan.json", "{not json")
+    code = main(["--fault-plan", plan, good])
+    captured = capsys.readouterr()
+    assert code == 2
+    assert "invalid fault plan" in captured.err
+    assert "Traceback" not in captured.err + captured.out
+
+
+def test_fault_plan_missing_file_exits_two(tmp_path, capsys):
+    good = write(tmp_path, "good.jlang", GOOD)
+    code = main(["--fault-plan", str(tmp_path / "absent.json"), good])
+    captured = capsys.readouterr()
+    assert code == 2
+    assert "invalid fault plan" in captured.err
+
+
+def test_fault_plan_unknown_action_exits_two(tmp_path, capsys):
+    good = write(tmp_path, "good.jlang", GOOD)
+    plan = write(tmp_path, "plan.json",
+                 json.dumps([{"seam": "worker.shard",
+                              "action": "explode"}]))
+    code = main(["--fault-plan", plan, good])
+    captured = capsys.readouterr()
+    assert code == 2
+    assert "invalid fault plan" in captured.err
+
+
+def test_fault_plan_crash_recovery_keeps_report_exit_code(tmp_path,
+                                                          capsys):
+    """A recovered worker crash reports exactly like the clean run:
+    exit 1 (issues found), identical stdout, no traceback."""
+    good = write(tmp_path, "good.jlang", GOOD)
+    two = write(tmp_path, "two.jlang",
+                GOOD.replace("class S", "class T"))
+    clean_code = main([good, two])
+    clean_out = capsys.readouterr().out
+    plan = write(tmp_path, "plan.json",
+                 json.dumps([{"seam": "worker.shard", "at": 0,
+                              "action": "kill-worker",
+                              "attempts": 1}]))
+    code = main(["--jobs", "2", "--fault-plan", plan, good, two])
+    captured = capsys.readouterr()
+    assert clean_code == 1 and code == 1
+    assert captured.out == clean_out
+    assert "Traceback" not in captured.err + captured.out
