@@ -76,11 +76,18 @@ def build_pieces(scale: int):
     return app, sdg, DirectEdges(sdg, analysis), HeapGraph(analysis)
 
 
-def sweep(pieces, jobs: int, repeats: int) -> Dict[str, object]:
+def sweep(pieces, jobs: int, repeats: int,
+          lease=None) -> Dict[str, object]:
     """Best-of-``repeats`` engine sweep; returns the timing cell.
 
     Observability is re-armed per repeat so the phase gauges belong to
     the best run's repeat, not an average across warm and cold pools.
+
+    ``lease`` (a :class:`repro.parallel.PoolLease`, jobs > 1 only)
+    makes every repeat after the first — and every later app on the
+    same lease — reuse the live worker pool instead of respawning it;
+    the cell then records the *amortized* startup (snapshot build +
+    reload rendezvous) and a ``pool_reused`` flag.
     """
     _, sdg, direct, heap = pieces
     best: Optional[float] = None
@@ -89,7 +96,8 @@ def sweep(pieces, jobs: int, repeats: int) -> Dict[str, object]:
     for _ in range(repeats):
         obs = Observability()
         engine = TaintEngine(sdg, direct, heap, default_rules(),
-                             Budget(), jobs=jobs, obs=obs)
+                             Budget(), jobs=jobs, obs=obs,
+                             pool_lease=lease)
         t0 = time.perf_counter()
         result = engine.run()
         wall = time.perf_counter() - t0
@@ -120,12 +128,15 @@ def sweep(pieces, jobs: int, repeats: int) -> Dict[str, object]:
             "worker_inits":
                 metrics.counter_value("taint.pool.worker_inits") or 0,
         }
+        if lease is not None:
+            cell["pool_reused"] = bool(
+                metrics.gauge_value("taint.pool.reused"))
     cell["_flows"] = flows
     return cell
 
 
-def run_scale(scale: int, jobs_list: List[int],
-              repeats: int) -> Dict[str, object]:
+def run_scale(scale: int, jobs_list: List[int], repeats: int,
+              leases: Optional[Dict] = None) -> Dict[str, object]:
     pieces = build_pieces(scale)
     app = pieces[0]
     row: Dict[str, object] = {
@@ -137,7 +148,11 @@ def run_scale(scale: int, jobs_list: List[int],
     reference: Optional[List] = None
     serial_wall: Optional[float] = None
     for jobs in jobs_list:
-        cell = sweep(pieces, jobs, repeats)
+        lease = None
+        if leases is not None and jobs > 1:
+            from repro.parallel import PoolLease
+            lease = leases.setdefault(jobs, PoolLease(jobs))
+        cell = sweep(pieces, jobs, repeats, lease)
         keys = [f.sort_key() for f in cell.pop("_flows")]
         if reference is None:
             reference = keys
@@ -158,12 +173,24 @@ def run_scale(scale: int, jobs_list: List[int],
 def run_bench(scales: List[int], jobs_list: List[int], repeats: int,
               quick: bool) -> Dict[str, object]:
     cores = host_cores()
-    rows = [run_scale(scale, jobs_list, repeats) for scale in scales]
+    # One PoolLease per jobs count, shared across every scale (app):
+    # only the first (scale, jobs) cell pays worker startup; the rest
+    # reload the live pool.  Closed before the payload is returned.
+    leases: Dict[int, object] = {}
+    try:
+        rows = [run_scale(scale, jobs_list, repeats, leases)
+                for scale in scales]
+    finally:
+        for lease in leases.values():
+            lease.close()
     return {
         "cores": cores,
         "quick": quick,
         "repeats": repeats,
         "target_speedup": TARGET_SPEEDUP,
+        "pool_reuse": {str(jobs): {"builds": lease.builds,
+                                   "reloads": lease.reloads}
+                       for jobs, lease in sorted(leases.items())},
         "rows": rows,
     }
 

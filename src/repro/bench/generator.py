@@ -719,6 +719,72 @@ def scaling_corpus(scale: int, seed: int = 7) -> GeneratedApp:
     return generate_app(AppSpec(name="scaling", seed=seed).scaled(scale))
 
 
+def summary_corpus(entrypoints: int, depth: int = 48, stmts: int = 6,
+                   variant: int = 0) -> GeneratedApp:
+    """The summary-cache corpus: a deep shared library, thin servlets.
+
+    The inverse of :func:`scaling_corpus`'s shape: instead of many
+    independent flow patterns (where per-entrypoint work dominates and
+    a method summary has nothing to amortize), taint here crosses one
+    ``depth``-method pipeline of ``stmts`` statements each — exactly
+    the workload per-method summaries (:mod:`repro.summaries`) exist
+    for.  Cold runs explore the pipeline once per rule; warm runs seal
+    it from the cache and skip that exploration entirely.
+
+    ``variant`` renames the servlets and their parameters while leaving
+    the library byte-identical — two variants model two applications
+    sharing a library, the cross-app reuse case: the library's
+    content-hashed summary keys match across variants, the servlets'
+    do not.
+    """
+    tag = f"V{variant}" if variant else ""
+    methods = []
+    for i in range(depth):
+        steps = "\n".join(
+            f'    String s{j + 1} = s{j} + "x{i}_{j}";'
+            for j in range(stmts))
+        nxt = (f"SharedPipe.stage{i + 1}(s{stmts})"
+               if i + 1 < depth else f"s{stmts}")
+        methods.append(f"""
+  static String stage{i}(String v) {{
+    String s0 = v.trim();
+{steps}
+    return {nxt};
+  }}""")
+    classes = [f"class SharedPipe {{{''.join(methods)}\n}}"]
+    planted: List[PlantedFlow] = []
+    for e in range(entrypoints):
+        servlet = f"Entry{tag}{e}"
+        if e % 2 == 0:
+            body = (f'    String v = SharedPipe.stage0('
+                    f'req.getParameter("q{tag}{e}"));\n'
+                    f"    resp.getWriter().println(v);")
+            planted.append(PlantedFlow("tp", "XSS",
+                                       f"{servlet}.doGet/2",
+                                       f"summary-{variant}"))
+        else:
+            body = (f'    String v = SharedPipe.stage0('
+                    f'req.getParameter("q{tag}{e}"));\n'
+                    f'    Connection c = '
+                    f'DriverManager.getConnection("jdbc:app");\n'
+                    f"    Statement st = c.createStatement();\n"
+                    f'    st.executeQuery("SELECT * WHERE u=\'" + v '
+                    f"+ \"'\");")
+            planted.append(PlantedFlow("tp", "SQLI",
+                                       f"{servlet}.doGet/2",
+                                       f"summary-{variant}"))
+        classes.append(f"""
+class {servlet} extends HttpServlet {{
+  void doGet(HttpServletRequest req, HttpServletResponse resp) {{
+{body}
+  }}
+}}""")
+    spec = AppSpec(name=f"summary-{variant}", seed=variant,
+                   cold_classes=0, lib_classes=0)
+    return GeneratedApp(spec=spec, sources=["\n".join(classes)],
+                        planted=planted)
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """``python -m repro.bench.generator``: emit a scaled corpus."""
     import argparse

@@ -43,6 +43,7 @@ CONFIG_FACTORIES = {
     "optimized": TAJConfig.hybrid_optimized,
     "cs": TAJConfig.cs,
     "ci": TAJConfig.ci,
+    "summary": TAJConfig.summary,
 }
 
 
@@ -56,6 +57,19 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--config", choices=sorted(CONFIG_FACTORIES),
                         default="optimized",
                         help="analysis configuration (default: optimized)")
+    parser.add_argument("--strategy", choices=("hybrid", "cs", "ci",
+                                               "summary"),
+                        help="override the slicing strategy of the "
+                             "chosen --config (e.g. run the optimized "
+                             "preset on the summary engine)")
+    parser.add_argument("--summary-cache", metavar="DIR",
+                        help="persistent per-method summary cache for "
+                             "the summary strategy: cold runs populate "
+                             "DIR, warm runs on the same or overlapping "
+                             "apps reuse it (implies --strategy "
+                             "summary; foreign/corrupt caches are "
+                             "detected and rebuilt, "
+                             "docs/performance.md)")
     parser.add_argument("--rules", choices=("default", "extended"),
                         default="default",
                         help="security-rule set (extended adds open "
@@ -230,6 +244,11 @@ def main(argv: Optional[List[str]] = None) -> int:
     descriptor = _load_descriptor(args.descriptor)
 
     config = CONFIG_FACTORIES[args.config]()
+    if args.summary_cache:
+        config = config.with_summary_cache(args.summary_cache)
+    elif args.strategy is not None and args.strategy != config.slicing:
+        from dataclasses import replace
+        config = replace(config, slicing=args.strategy)
     overrides = {}
     if args.max_cg_nodes is not None:
         overrides["max_cg_nodes"] = args.max_cg_nodes

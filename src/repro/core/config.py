@@ -38,7 +38,7 @@ class TAJConfig:
     """A complete analysis configuration."""
 
     name: str
-    slicing: str = "hybrid"               # "hybrid" | "cs" | "ci"
+    slicing: str = "hybrid"          # "hybrid" | "cs" | "ci" | "summary"
     prioritized: bool = False             # §6.1 priority-driven CG
     budget: Budget = field(default_factory=Budget)
     models: ModelOptions = field(default_factory=ModelOptions)
@@ -115,6 +115,12 @@ class TAJConfig:
     profile: bool = False
     # Sampling interval in seconds (shared by parent and pool workers).
     profile_interval: float = 0.004
+    # Persistent summary cache directory for the "summary" strategy
+    # (repro.summaries, docs/performance.md): a cold run harvests
+    # per-method summaries into it, a warm run on the same or an
+    # overlapping app seals them back in.  None = in-memory only
+    # (summary behaves like hybrid plus harvest bookkeeping).
+    summary_cache_dir: Optional[str] = None
 
     def with_budget(self, **kwargs) -> "TAJConfig":
         budget = self.budget.copy()
@@ -169,6 +175,13 @@ class TAJConfig:
         ``directory`` so an interrupted parallel sweep can resume."""
         return replace(self, checkpoint_dir=directory)
 
+    def with_summary_cache(self, directory: Optional[str]) -> "TAJConfig":
+        """This configuration on the summary strategy, persisting
+        per-method taint-transfer summaries under ``directory`` (warm
+        runs reuse them; see docs/performance.md)."""
+        return replace(self, slicing="summary",
+                       summary_cache_dir=directory)
+
     # -- the five Table 1 presets ------------------------------------------
 
     @staticmethod
@@ -212,6 +225,15 @@ class TAJConfig:
         """CI thin slicing, unbounded."""
         return TAJConfig(name="ci", slicing="ci",
                          context_insensitive_pointers=True)
+
+    @staticmethod
+    def summary(cache_dir: Optional[str] = None) -> "TAJConfig":
+        """Summary-based modular engine (repro.summaries): hybrid
+        precision, per-method summaries reused from ``cache_dir`` when
+        given.  Not part of :meth:`all_presets` — it is an engine
+        variant of hybrid-unbounded, not a sixth Table 1 row."""
+        return TAJConfig(name="summary", slicing="summary",
+                         summary_cache_dir=cache_dir)
 
     @staticmethod
     def all_presets() -> list:

@@ -63,13 +63,24 @@ class TAJ:
     def __init__(self, config: Optional[TAJConfig] = None,
                  rules: Optional[RuleSet] = None,
                  obs: Optional[Observability] = None,
-                 faults: Optional[FaultPlan] = None) -> None:
+                 faults: Optional[FaultPlan] = None,
+                 pool_lease: Optional[object] = None) -> None:
         self.config = config or TAJConfig.hybrid_optimized()
         self.rules = rules or default_rules()
         self.obs = obs
         # A scripted fault plan (repro.resilience.faults); installed at
         # the pipeline's seams for every analyze_* call.
         self.faults = faults
+        # Opt-in worker-pool reuse across runs/apps (a
+        # repro.parallel.PoolLease owned by the caller — bench
+        # territory; see TaintEngine._run_leased for the supervision
+        # trade).  Used only when config.jobs > 1.
+        self.pool_lease = pool_lease
+        # The summary-cache backend (repro.summaries), created lazily
+        # on the first "summary" run and kept for the instance's
+        # lifetime: analyzing several apps through one TAJ object
+        # reuses the loaded cache in memory, not just on disk.
+        self._summary_backend: Optional[object] = None
 
     # -- public API ------------------------------------------------------------
 
@@ -205,6 +216,18 @@ class TAJ:
         try:
             with tracer.span("phase.taint",
                              strategy=config.slicing) as span:
+                backend = None
+                if config.slicing == "summary":
+                    # Key computation + cache load, attributed to its
+                    # own span: this is the amortizable cost the warm
+                    # run pays instead of re-slicing.
+                    with tracer.span("phase.summarize") as sspan:
+                        backend = self._make_summary_backend()
+                        backend.prepare(sdg)
+                        sspan.set(
+                            cached_entries=(len(backend.cache.entries)
+                                            if backend.cache is not None
+                                            else 0))
                 engine = TaintEngine(sdg, direct, heap_graph, self.rules,
                                      config.budget,
                                      strategy=config.slicing, obs=obs,
@@ -213,7 +236,9 @@ class TAJ:
                                      start_method=config.start_method,
                                      supervision=self._supervision(),
                                      checkpoint=self._checkpoint(
-                                         confirm_sources))
+                                         confirm_sources),
+                                     summary_backend=backend,
+                                     pool_lease=self.pool_lease)
                 taint = engine.run()
                 span.set(flows=len(taint.flows), failed=taint.failed)
         except Exception as exc:
@@ -301,6 +326,15 @@ class TAJ:
                 tracer=obs.tracer)
         if not obs.profiler.running:
             obs.profiler.start()
+
+    def _make_summary_backend(self):
+        """The instance's summary backend (repro.summaries), created on
+        first use from the config's cache directory."""
+        if self._summary_backend is None:
+            from ..summaries import SummaryBackend
+            self._summary_backend = SummaryBackend(
+                self.config.summary_cache_dir)
+        return self._summary_backend
 
     def _supervision(self):
         """The pool-supervision policy from the config's knobs (None

@@ -56,6 +56,12 @@ WORK_COUNTERS = (
     "taint.suppressed_by_length", "report.issues",
     "taint.pool.retries", "taint.pool.restarts",
     "taint.pool.quarantined",
+    # Summary-cache effectiveness (repro.summaries): deterministic for
+    # a given (cache state, corpus) pair, present only on "summary"
+    # runs — the sentinel flags a cache that stopped hitting, not just
+    # the wall-clock consequence.
+    "summary.cache.hits", "summary.cache.misses",
+    "summary.cache.evictions", "summary.cache.stale",
 )
 
 

@@ -63,6 +63,7 @@ HOT_LOOPS = {
     "_collapse_cycles": "pointer.scc_collapse",
     "tabulate": "sdg.tabulation",
     "slice_rule": "taint.slice_rule",
+    "stitch": "summaries.stitch",
 }
 
 

@@ -25,7 +25,7 @@ supervision and checkpoint semantics.
 """
 
 from .checkpoint import CheckpointJournal, plan_fingerprint
-from .pool import PersistentWorkerPool, pick_start_method
+from .pool import PersistentWorkerPool, PoolLease, pick_start_method
 from .shards import GRAINS, Shard, plan_shards, splittable
 from .snapshot import (EngineSnapshot, SnapshotError, WorkerContext,
                        WorkerInitError)
@@ -33,7 +33,8 @@ from .supervisor import PoolSupervisor, SupervisionPolicy, SupervisionStats
 
 __all__ = [
     "CheckpointJournal", "EngineSnapshot", "GRAINS",
-    "PersistentWorkerPool", "PoolSupervisor", "Shard", "SnapshotError",
+    "PersistentWorkerPool", "PoolLease", "PoolSupervisor", "Shard",
+    "SnapshotError",
     "SupervisionPolicy", "SupervisionStats", "WorkerContext",
     "WorkerInitError", "pick_start_method", "plan_fingerprint",
     "plan_shards", "splittable",

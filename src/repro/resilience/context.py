@@ -47,8 +47,11 @@ FAILED = "failed"
 
 # The fallback order: most precise strategy -> cheapest.  ``None`` means
 # no further fallback: abandon remaining work, keep collected flows.
-LADDER: Dict[str, Optional[str]] = {"cs": "hybrid", "hybrid": "ci",
-                                    "ci": None}
+# "summary" is hybrid-precision with a cache in front, so its fallback
+# rung is plain hybrid: a tripped summary sweep re-slices without the
+# cache machinery rather than losing precision straight to ci.
+LADDER: Dict[str, Optional[str]] = {"cs": "hybrid", "summary": "hybrid",
+                                    "hybrid": "ci", "ci": None}
 
 
 def next_strategy(strategy: str) -> Optional[str]:

@@ -62,9 +62,7 @@ class HybridSlicer(Slicer):
                 self._expand_store(tab, origin_id, hit, carriers,
                                    collector, sources, seeded_loads)
 
-        tab = Tabulator(self.sdg, adapter, on_hit, meter=self.meter,
-                        skip_thread_edges=self.skip_thread_edges,
-                        resilience=self.resilience)
+        tab = self._make_tabulator(adapter, on_hit)
         if seeds is None:
             seeds = enumerate_sources(self.sdg, rule)
         for seed in seeds:
@@ -77,6 +75,14 @@ class HybridSlicer(Slicer):
                                       seeded_loads)
         tab.run()
         return self._collect(collector)
+
+    def _make_tabulator(self, adapter: RuleAdapter, on_hit) -> Tabulator:
+        """Factory seam: the summary engine (:mod:`repro.summaries`)
+        substitutes a cache-sealing tabulator here; everything else in
+        the traversal is shared."""
+        return Tabulator(self.sdg, adapter, on_hit, meter=self.meter,
+                         skip_thread_edges=self.skip_thread_edges,
+                         resilience=self.resilience)
 
     # -- heap expansion ----------------------------------------------------------
 

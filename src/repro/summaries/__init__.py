@@ -1,0 +1,29 @@
+"""Summary-based modular taint backend (ROADMAP item 3).
+
+Taint phrased as reusable per-method summaries (IFDS with access
+paths, Allen/Gauthier/Jordan, arXiv 2103.16240) over the existing RHS
+tabulation: balanced regions *are* the summaries, this package makes
+them persistent and reusable across runs and apps sharing the model
+library.  See :mod:`repro.summaries.engine` for the design and
+``docs/performance.md`` for when the cache pays.
+"""
+
+from .cache import SUMMARY_SCHEMA, SummaryCache
+from .engine import (SummaryBackend, SummarySlicer, SummaryTabulator,
+                     model_fingerprint, rebind_hit, serialize_hit)
+from .keys import entry_key, local_hashes, rule_fingerprint, transitive_keys
+
+__all__ = [
+    "SUMMARY_SCHEMA",
+    "SummaryCache",
+    "SummaryBackend",
+    "SummarySlicer",
+    "SummaryTabulator",
+    "model_fingerprint",
+    "rebind_hit",
+    "serialize_hit",
+    "entry_key",
+    "local_hashes",
+    "rule_fingerprint",
+    "transitive_keys",
+]

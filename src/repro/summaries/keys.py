@@ -1,0 +1,168 @@
+"""Content-hash keys for the persistent summary cache.
+
+A method's taint-transfer summary (its balanced-region hit lists, see
+:mod:`repro.sdg.tabulation`) is a function of
+
+* the method's own IR (the :func:`repro.ir.printer.format_method`
+  render, which covers instruction ids, parameter names, and blocks);
+* the *resolved call environment* at each of its call sites — which
+  callees the call graph bound, their parameter bindings, whether each
+  side of the edge is application code (that decides ``crossing``
+  stamps and therefore LCPs);
+* everything the same holds for, transitively, every method reachable
+  from it (lifted hits fold callee summaries into the caller's).
+
+So the cache key for a method is a **transitive content hash**: a local
+hash per method (IR render + call environment), composed bottom-up over
+the call graph's SCC condensation (iterative Tarjan via
+:func:`repro.pointer.scc.copy_cycles`, with the identity ``find`` —
+summary keys have no union-find).  Editing one method's body moves the
+local hash of that method and, through composition, the transitive key
+of exactly its call-graph ancestors: the dirtied region re-explores,
+everything else stays warm.
+
+Mutually recursive methods share one component and therefore one
+transitive digest — any edit inside a cycle invalidates the whole
+cycle, which is exactly the granularity at which their summaries are
+entangled.
+
+Deliberately **excluded** from the key: the §6.2 budgets (flow length,
+heap transitions, state units, nested depth).  They act at the origin /
+collector / slicer level, never inside a balanced region's hit list, so
+including them would only fragment the cache (docs/performance.md).
+The per-rule half of the identity (sanitizers cut edges, sinks stop
+propagation) is the *rule fingerprint*, combined with the method key in
+:func:`entry_key`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from ..ir.printer import format_method
+from ..obs.ledger import sha256_fingerprint
+from ..pointer.scc import copy_cycles
+from ..sdg.noheap import NoHeapSDG
+
+
+def rule_fingerprint(rule) -> str:
+    """Digest of everything a rule contributes to balanced-region hits:
+    sources are origin-side only, but they are cheap to include and make
+    the key a digest of the whole rule definition."""
+    return sha256_fingerprint({
+        "name": rule.name,
+        "sources": sorted(rule.sources),
+        "sanitizers": sorted(rule.sanitizers),
+        "sinks": {name: list(params) if params is not None else None
+                  for name, params in sorted(rule.sinks.items())},
+        "ref_sources": {name: list(idxs)
+                        for name, idxs in sorted(rule.ref_sources.items())},
+    })
+
+
+def local_hashes(sdg: NoHeapSDG) -> Dict[str, str]:
+    """Per-method local content hash: IR render + resolved call
+    environment + application-ness, for every indexed method."""
+    program = sdg.program
+    app_cache: Dict[str, bool] = {}
+
+    def is_app(qname: str) -> bool:
+        cached = app_cache.get(qname)
+        if cached is None:
+            method = program.lookup_method(qname)
+            cached = bool(method) and \
+                program.is_application_method(method) and \
+                not method.is_synthetic
+            app_cache[qname] = cached
+        return cached
+
+    out: Dict[str, str] = {}
+    for qname in sdg.call_sites:
+        method = program.lookup_method(qname)
+        if method is None:
+            continue
+        env: List = []
+        for site in sdg.call_sites.get(qname, []):
+            env.append([
+                site.stmt.ref.iid,
+                site.stmt.in_application,
+                sorted(site.native_targets),
+                [[target, is_app(target),
+                  sdg.bindings(site, target)]
+                 for target in sorted(site.targets)],
+            ])
+        out[qname] = sha256_fingerprint({
+            "ir": format_method(method),
+            "app": is_app(qname),
+            "env": env,
+        })
+    return out
+
+
+def transitive_keys(sdg: NoHeapSDG) -> Dict[str, str]:
+    """Method → transitive content hash, composed bottom-up over the
+    call graph's SCC condensation."""
+    locals_ = local_hashes(sdg)
+    succs: Dict[str, List[str]] = {}
+    for qname in locals_:
+        callees = {target for site in sdg.call_sites.get(qname, [])
+                   for target in site.targets if target in locals_}
+        succs[qname] = sorted(callees)
+
+    # Non-trivial cycles share one component; everything else is its
+    # own singleton.  ``find`` is the identity — the graph is static.
+    comp_of: Dict[str, str] = {}
+    members: Dict[str, List[str]] = {}
+    for comp in copy_cycles(succs, lambda key: key):
+        root = min(comp)
+        for member in comp:
+            comp_of[member] = root
+        members[root] = sorted(comp)
+    for qname in locals_:
+        comp_of.setdefault(qname, qname)
+        members.setdefault(comp_of[qname], [qname]) \
+            if comp_of[qname] == qname else None
+        if comp_of[qname] == qname and qname not in members:
+            members[qname] = [qname]
+
+    comp_succs: Dict[str, List[str]] = {}
+    for qname, callees in succs.items():
+        comp = comp_of[qname]
+        bucket = comp_succs.setdefault(comp, [])
+        for callee in callees:
+            target = comp_of[callee]
+            if target != comp and target not in bucket:
+                bucket.append(target)
+
+    digests: Dict[str, str] = {}
+
+    def compute(start: str) -> None:
+        # Iterative post-order: constraint-style graphs exceed Python's
+        # recursion limit (same discipline as pointer.scc).
+        stack: List[List] = [[start, False]]
+        while stack:
+            comp, expanded = stack[-1]
+            if comp in digests:
+                stack.pop()
+                continue
+            if not expanded:
+                stack[-1][1] = True
+                for succ in sorted(comp_succs.get(comp, [])):
+                    if succ not in digests:
+                        stack.append([succ, False])
+                continue
+            stack.pop()
+            digests[comp] = sha256_fingerprint({
+                "members": sorted(locals_[m] for m in members[comp]),
+                "deps": sorted(digests[s]
+                               for s in comp_succs.get(comp, [])),
+            })
+
+    for comp in members:
+        compute(comp)
+    return {qname: digests[comp_of[qname]] for qname in locals_}
+
+
+def entry_key(method: str, method_key: str, rule_fp: str) -> str:
+    """The cache-entry identity: one method's summary under one rule."""
+    return sha256_fingerprint([method, method_key, rule_fp])

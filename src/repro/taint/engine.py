@@ -54,8 +54,12 @@ from .flows import TaintFlow, canonical_flows
 from .rules import RuleSet
 
 # Ladder rungs ordered precise -> cheap, for merging per-rule final
-# strategies into the sweep-level one.
-_STRATEGY_RANK = {"cs": 0, "hybrid": 1, "ci": 2}
+# strategies into the sweep-level one.  "summary" sits beside hybrid in
+# precision (identical flows by construction) but above it in rank: its
+# fallback rung *is* hybrid, so a degraded summary sweep reports the
+# strategy it actually finished on.
+_STRATEGY_RANK = {"cs": 0, "summary": 1, "hybrid": 2, "ci": 3}
+_DEFAULT_RANK = _STRATEGY_RANK["hybrid"]
 
 
 @dataclass
@@ -133,11 +137,18 @@ def make_slicer(strategy: str, sdg: NoHeapSDG, direct: DirectEdges,
                 heap_graph: HeapGraph, budget: Budget,
                 meter: Optional[StateMeter] = None,
                 resilience: Optional[object] = None,
-                carrier_cache: Optional[Dict] = None) -> Slicer:
+                carrier_cache: Optional[Dict] = None,
+                summary_backend: Optional[object] = None) -> Slicer:
     if strategy == "hybrid":
         return HybridSlicer(sdg, direct, heap_graph, budget, meter=meter,
                             resilience=resilience,
                             carrier_cache=carrier_cache)
+    if strategy == "summary":
+        from ..summaries import SummarySlicer
+        return SummarySlicer(sdg, direct, heap_graph, budget, meter=meter,
+                             resilience=resilience,
+                             carrier_cache=carrier_cache,
+                             backend=summary_backend)
     if strategy == "cs":
         return CSSlicer(sdg, direct, heap_graph, budget, meter=meter,
                         resilience=resilience,
@@ -160,7 +171,9 @@ class TaintEngine:
                  start_method: Optional[str] = None,
                  shards_per_rule: Optional[int] = None,
                  supervision: Optional[object] = None,
-                 checkpoint: Optional[object] = None) -> None:
+                 checkpoint: Optional[object] = None,
+                 summary_backend: Optional[object] = None,
+                 pool_lease: Optional[object] = None) -> None:
         self.sdg = sdg
         self.direct = direct
         self.heap_graph = heap_graph
@@ -184,6 +197,15 @@ class TaintEngine:
         # (repro.parallel.CheckpointJournal, None = off).
         self.supervision = supervision
         self.checkpoint = checkpoint
+        # Summary-cache backend (repro.summaries.SummaryBackend), used
+        # only by strategy == "summary"; prepared by the caller against
+        # this SDG before run().
+        self.summary_backend = summary_backend
+        # Opt-in pool reuse (repro.parallel.PoolLease): amortizes worker
+        # startup across runs/apps at the price of crash supervision —
+        # see _run_leased.  Ignored when jobs == 1 or a checkpoint
+        # journal is attached.
+        self.pool_lease = pool_lease
         self._rule_list: List = []
         # Rule-name → CarrierIndex, shared across every slicer this
         # engine creates: the index is a whole-SDG scan, fixed per
@@ -198,7 +220,8 @@ class TaintEngine:
         slicer = make_slicer(strategy, self.sdg, self.direct,
                              self.heap_graph, self.budget, meter,
                              resilience=self.resilience,
-                             carrier_cache=self._carrier_cache)
+                             carrier_cache=self._carrier_cache,
+                             summary_backend=self.summary_backend)
         modref = getattr(self.sdg, "modref", None)
         if strategy == "cs" and meter is not None and modref is not None:
             # CS thin slicing threads heap dependencies as additional
@@ -268,6 +291,8 @@ class TaintEngine:
             metrics.inc("taint.degradations", len(result.degradations))
         if result.failed:
             metrics.inc("taint.budget_failures")
+        if self.summary_backend is not None:
+            self.summary_backend.publish(metrics)
         return result
 
     # -- serial reference path ------------------------------------------------
@@ -486,6 +511,8 @@ class TaintEngine:
         if len(shards) < 2:
             # Nothing to distribute; the pool would be pure overhead.
             return self._run_serial(rules)
+        if self.pool_lease is not None and self.checkpoint is None:
+            return self._run_leased(rules, shards)
         outcomes: List[Optional[ShardOutcome]] = [None] * len(shards)
         journal = self.checkpoint
         if journal is not None:
@@ -608,6 +635,76 @@ class TaintEngine:
                       time.perf_counter() - merge_started)
         return result
 
+    def _run_leased(self, rules: List, shards) -> TaintResult:
+        """The sweep over a leased — reused — worker pool.
+
+        The trade against the supervised path: no heartbeat array and
+        no :class:`~repro.parallel.PoolSupervisor`, so a worker fault
+        aborts the run instead of being retried or quarantined.  In
+        exchange the pool outlives the run — the next app on the same
+        :class:`~repro.parallel.PoolLease` pays a snapshot *reload*
+        into the live workers instead of process startup.  Bench and
+        batch-sweep territory (``benchmarks/parallel_scaling.py``), not
+        crash-resilient production runs.  A run that does break the
+        pool heals lazily: the lease's next ``acquire`` fails the
+        reload rendezvous and rebuilds.
+        """
+        from ..parallel import EngineSnapshot, SnapshotError
+        obs = self.obs
+        tracer = obs.tracer
+        metrics = obs.metrics
+        lease = self.pool_lease
+        start_span = tracer.span("taint.pool.start", jobs=lease.jobs,
+                                 shards=len(shards))
+        try:
+            with start_span as span:
+                snapshot = EngineSnapshot(
+                    self, shards, collect_metrics=metrics.enabled)
+                builds_before = lease.builds
+                pool = lease.acquire(snapshot)
+                reused = lease.builds == builds_before
+                span.set(start_method=pool.start_method,
+                         snapshot_bytes=snapshot.nbytes,
+                         pool_reused=reused)
+        except SnapshotError:
+            start_span.set(fallback="serial")
+            return self._run_serial(rules)
+        progress = getattr(obs, "progress", None)
+        on_outcome = None
+        if progress is not None:
+            on_outcome = (lambda done, total:
+                          progress.update(shards=f"{done}/{total}"))
+        profiler = getattr(obs, "profiler", None)
+        try:
+            if profiler is not None and profiler.running:
+                profiler.pause()
+            outcomes = pool.run_shards(len(shards),
+                                       on_outcome=on_outcome)
+        finally:
+            if profiler is not None and profiler.running:
+                profiler.resume()
+        merge_started = time.perf_counter()
+        result = self._merge_outcomes(rules, outcomes)
+        metrics.gauge("taint.parallel_jobs", lease.jobs)
+        metrics.gauge("taint.pool.workers", lease.jobs)
+        metrics.gauge("taint.pool.shards", len(shards))
+        metrics.gauge("taint.pool.snapshot_bytes", snapshot.nbytes)
+        metrics.gauge("taint.pool.snapshot_build_seconds",
+                      snapshot.build_seconds)
+        # On reuse the startup cost is the reload rendezvous, not
+        # process creation — the amortization this path exists for.
+        metrics.gauge("taint.pool.startup_seconds",
+                      snapshot.build_seconds +
+                      (pool.reload_seconds if reused
+                       else pool.startup_seconds))
+        metrics.gauge("taint.pool.reused", 1.0 if reused else 0.0)
+        metrics.inc("taint.pool.worker_inits",
+                    sum(1 for out in outcomes
+                        if out is not None and out.init_seconds > 0))
+        metrics.gauge("taint.pool.merge_seconds",
+                      time.perf_counter() - merge_started)
+        return result
+
     def _merge_outcomes(self, rules: List,
                         outcomes: List[ShardOutcome]) -> TaintResult:
         """Fold shard outcomes into one :class:`TaintResult`.
@@ -632,7 +729,7 @@ class TaintEngine:
         res = self.resilience
         result = TaintResult()
         result.final_strategy = self.strategy
-        final_rank = _STRATEGY_RANK.get(self.strategy, 1)
+        final_rank = _STRATEGY_RANK.get(self.strategy, _DEFAULT_RANK)
         by_rule: Dict[int, List[ShardOutcome]] = {}
         for out in outcomes:
             by_rule.setdefault(out.rule_index, []).append(out)
@@ -645,11 +742,13 @@ class TaintEngine:
             # shards: earliest start, summed busy time.
             started = min(out.started for out in outs)
             duration = sum(out.duration for out in outs)
-            rule_rank = max(_STRATEGY_RANK.get(out.final_strategy, 1)
-                            for out in outs)
+            rule_rank = max(
+                _STRATEGY_RANK.get(out.final_strategy, _DEFAULT_RANK)
+                for out in outs)
             rule_strategy = next(
                 (out.final_strategy for out in outs
-                 if _STRATEGY_RANK.get(out.final_strategy, 1) == rule_rank),
+                 if _STRATEGY_RANK.get(out.final_strategy,
+                                       _DEFAULT_RANK) == rule_rank),
                 self.strategy)
             # Within a rule the serial collector emits sort-key order;
             # concatenated shard flows are re-sorted to match.

@@ -1,0 +1,168 @@
+"""Summary-backend engine tests: warm runs are byte-identical to cold
+and to the hybrid reference, cache hits actually happen, stale entries
+degrade to live exploration, and the facade/CLI wiring publishes the
+``summary.cache.*`` counters."""
+
+import json
+
+import pytest
+
+from repro.bounds import Budget
+from repro.core import TAJ, TAJConfig
+from repro.modeling import default_natives, prepare
+from repro.obs import Observability
+from repro.pointer import ContextPolicy, PointerAnalysis
+from repro.pointer.heapgraph import HeapGraph
+from repro.sdg.hsdg import DirectEdges
+from repro.sdg.noheap import NoHeapSDG
+from repro.summaries import SummaryBackend
+from repro.summaries.cache import SUMMARIES_NAME
+from repro.taint import TaintEngine, default_rules
+
+# A helper deep enough to give the tabulator balanced regions to seal:
+# taint crosses Library.identity and Library.wrap on the way to two
+# different sinks.
+APP = """
+class Library {
+  String identity(String v) { return v; }
+  String wrap(String v) { return "[" + this.identity(v) + "]"; }
+}
+class Front extends HttpServlet {
+  void doGet(HttpServletRequest req, HttpServletResponse resp) {
+    Library lib = new Library();
+    resp.getWriter().println(lib.wrap(req.getParameter("a")));
+  }
+}
+class Back extends HttpServlet {
+  void doGet(HttpServletRequest req, HttpServletResponse resp) {
+    Library lib = new Library();
+    Connection c = DriverManager.getConnection("db");
+    c.createStatement().executeQuery(lib.identity(req.getParameter("q")));
+  }
+}
+"""
+
+
+@pytest.fixture(scope="module")
+def pieces():
+    prepared = prepare([APP])
+    analysis = PointerAnalysis(prepared.program, ContextPolicy(),
+                               natives=default_natives())
+    analysis.solve()
+    sdg = NoHeapSDG(prepared.program, analysis.call_graph)
+    return sdg, DirectEdges(sdg, analysis), HeapGraph(analysis)
+
+
+def run(pieces, strategy, backend=None, obs=None):
+    sdg, direct, heap = pieces
+    if backend is not None:
+        backend.prepare(sdg)
+    engine = TaintEngine(sdg, direct, heap, default_rules(), Budget(),
+                         strategy=strategy, summary_backend=backend,
+                         obs=obs)
+    return engine.run()
+
+
+def keys(result):
+    return [f.sort_key() for f in result.flows]
+
+
+def test_cold_warm_and_hybrid_agree(pieces, tmp_path):
+    ref = run(pieces, "hybrid")
+    assert ref.flows, "fixture app must produce flows"
+    backend = SummaryBackend(str(tmp_path))
+    cold = run(pieces, "summary", backend)
+    assert keys(cold) == keys(ref)
+    assert backend.hits == 0 and backend.misses > 0
+
+    warm = run(pieces, "summary", backend)        # in-memory warm
+    assert keys(warm) == keys(ref)
+    assert backend.hits > 0
+
+    fresh = SummaryBackend(str(tmp_path))         # disk-only warm
+    warm2 = run(pieces, "summary", fresh)
+    assert keys(warm2) == keys(ref)
+    assert fresh.hits > 0
+    assert warm2.completed_rules == ref.completed_rules
+
+
+def test_no_cache_dir_degrades_to_pure_hybrid(pieces):
+    ref = run(pieces, "hybrid")
+    backend = SummaryBackend(None)
+    result = run(pieces, "summary", backend)
+    assert keys(result) == keys(ref)
+    assert backend.hits == backend.misses == 0
+
+
+def test_stale_entries_fall_back_to_live_exploration(pieces, tmp_path):
+    ref = run(pieces, "hybrid")
+    cold_backend = SummaryBackend(str(tmp_path))
+    run(pieces, "summary", cold_backend)
+    # Poison every cached statement reference: rebinding must fail and
+    # the region re-explore live, never serve garbage.
+    path = tmp_path / SUMMARIES_NAME
+    rows = [json.loads(line) for line in
+            path.read_text().strip().split("\n")]
+    for row in rows:
+        for hit_rows in row["hits"].values():
+            for hit in hit_rows:
+                if hit[1] is not None:
+                    hit[1] = [hit[1][0], 999999]
+    path.write_text("".join(json.dumps(r) + "\n" for r in rows))
+    backend = SummaryBackend(str(tmp_path))
+    result = run(pieces, "summary", backend)
+    assert keys(result) == keys(ref)
+    assert backend.stale > 0
+
+
+def test_publish_counters_reach_metrics(pieces, tmp_path):
+    backend = SummaryBackend(str(tmp_path))
+    run(pieces, "summary", backend)
+    obs = Observability()
+    result = run(pieces, "summary", backend, obs=obs)
+    snapshot = obs.metrics.snapshot()["counters"]
+    assert snapshot["summary.cache.hits"] == backend.hits > 0
+    assert snapshot["summary.cache.misses"] == backend.misses
+    assert result.flows
+
+
+def test_taj_facade_warm_run_hits(tmp_path):
+    config = TAJConfig.hybrid_optimized().with_summary_cache(
+        str(tmp_path / "cache"))
+    assert config.slicing == "summary"
+    first = TAJ(config).analyze_sources([APP])
+    second = TAJ(config).analyze_sources([APP])   # fresh TAJ: disk warm
+    assert [f.sort_key() for f in first.flows] == \
+        [f.sort_key() for f in second.flows]
+    cold = first.metrics["counters"]
+    warm = second.metrics["counters"]
+    assert cold.get("summary.cache.hits", 0) == 0
+    assert warm["summary.cache.hits"] > 0
+
+
+def test_one_taj_instance_reuses_backend_across_apps(tmp_path):
+    taj = TAJ(TAJConfig.summary(str(tmp_path / "cache")))
+    first = taj.analyze_sources([APP])
+    second = taj.analyze_sources([APP])
+    assert taj._summary_backend is not None
+    assert second.metrics["counters"]["summary.cache.hits"] > 0
+    assert [f.sort_key() for f in first.flows] == \
+        [f.sort_key() for f in second.flows]
+
+
+def test_cli_summary_strategy_round_trip(tmp_path, capsys):
+    from repro.cli import main
+    app = tmp_path / "app.jlang"
+    app.write_text(APP)
+    cache = tmp_path / "cache"
+    code = main(["--strategy", "summary", "--summary-cache", str(cache),
+                 "--json", str(app)])
+    cold = json.loads(capsys.readouterr().out)
+    assert code == 1
+    code = main(["--strategy", "summary", "--summary-cache", str(cache),
+                 "--json", str(app)])
+    warm = json.loads(capsys.readouterr().out)
+    assert code == 1
+    assert (cache / SUMMARIES_NAME).exists()
+    assert [i["rule"] for i in warm["issues"]] == \
+        [i["rule"] for i in cold["issues"]]
